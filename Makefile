@@ -1,0 +1,35 @@
+# Convenience targets for the FCatch reproduction.
+
+GO ?= go
+
+.PHONY: all build test bench eval random examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+
+bench:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Regenerate every table and experiment of the paper's evaluation.
+eval:
+	$(GO) run ./cmd/fcatch-bench -all -pruning
+
+# The Section 8.3 baseline at full scale.
+random:
+	$(GO) run ./cmd/randinject -runs 400
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/mapreduce-commit
+	$(GO) run ./examples/hbase-meta-hang
+	$(GO) run ./examples/correlated-findings
+	$(GO) run ./examples/random-vs-fcatch -runs 100
+
+clean:
+	rm -f test_output.txt bench_output.txt *.gob.gz

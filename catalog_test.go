@@ -1,0 +1,73 @@
+package fcatch_test
+
+import (
+	"testing"
+
+	"fcatch"
+	"fcatch/internal/detect"
+	"fcatch/internal/inject"
+)
+
+func mkOutcome(typ detect.BugType, ops, resClass string, class inject.Classification) *inject.Outcome {
+	return &inject.Outcome{
+		Class:  class,
+		Report: &detect.Report{Type: typ, OpsDesc: ops, ResClass: resClass},
+	}
+}
+
+func TestMatchSpecResolvesHB5VsHB6(t *testing.T) {
+	// HB6's resource-class hint is a prefix of HB5's; the catalog order must
+	// route each report to the right entry.
+	hb5 := mkOutcome(detect.CrashRecovery, "Delete vs Read", "zk:/hbase/replication/rs###/log#", inject.TrueBug)
+	hb6 := mkOutcome(detect.CrashRecovery, "Delete vs Read", "zk:/hbase/replication/rs###", inject.TrueBug)
+	if s := fcatch.MatchSpec("HB2", hb5); s == nil || s.ID != "HB5" {
+		t.Fatalf("log-znode report matched %v, want HB5", s)
+	}
+	if s := fcatch.MatchSpec("HB2", hb6); s == nil || s.ID != "HB6" {
+		t.Fatalf("queue-dir report matched %v, want HB6", s)
+	}
+}
+
+func TestMatchSpecOpenMeansRead(t *testing.T) {
+	// Table 2 says "Delete vs Open"; the detector reports storage reads.
+	out := mkOutcome(detect.CrashRecovery, "Delete vs Read", "gfs:/staging/job#/job.xml", inject.TrueBug)
+	if s := fcatch.MatchSpec("MR2", out); s == nil || s.ID != "MR2" {
+		t.Fatalf("job.xml report matched %v, want MR2", s)
+	}
+}
+
+func TestMatchSpecScopedToWorkload(t *testing.T) {
+	// MR3's signature must only match from the MR workloads.
+	out := mkOutcome(detect.CrashRegular, "Signal vs Wait", "cv:rpc-reply", inject.TrueBug)
+	if s := fcatch.MatchSpec("MR1", out); s == nil || s.ID != "MR3" {
+		t.Fatalf("MR1 rpc-reply matched %v, want MR3", s)
+	}
+	if s := fcatch.MatchSpec("CA1&2", out); s != nil {
+		t.Fatalf("CA rpc-reply matched %v, want none", s)
+	}
+}
+
+func TestMatchSpecIgnoresNonTrueBugs(t *testing.T) {
+	out := mkOutcome(detect.CrashRegular, "Signal vs Wait", "cv:rpc-reply", inject.Benign)
+	if s := fcatch.MatchSpec("MR1", out); s != nil {
+		t.Fatalf("benign outcome matched %v", s)
+	}
+}
+
+func TestMatchReportIgnoresVerdict(t *testing.T) {
+	r := &detect.Report{Type: detect.CrashRegular, OpsDesc: "Signal vs Wait", ResClass: "cv:rpc-reply"}
+	if s := fcatch.MatchReport("MR2", r); s == nil || s.ID != "MR3" {
+		t.Fatalf("MatchReport = %v, want MR3", s)
+	}
+}
+
+func TestEveryCatalogEntryHasDetails(t *testing.T) {
+	for _, s := range fcatch.Catalog {
+		if fcatch.Details(s.ID) == "" {
+			t.Errorf("no narrative for %s", s.ID)
+		}
+		if len(s.Workloads) == 0 || s.Symptom == "" || s.ResHint == "" {
+			t.Errorf("incomplete catalog entry: %+v", s)
+		}
+	}
+}

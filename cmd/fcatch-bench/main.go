@@ -1,0 +1,102 @@
+// Command fcatch-bench regenerates every table and experiment of the
+// paper's evaluation section:
+//
+//	fcatch-bench -all                 # everything below, in order
+//	fcatch-bench -table 1..5          # one table
+//	fcatch-bench -sensitivity         # §8.1.2 crash-point sensitivity
+//	fcatch-bench -ablation            # §8.2 exhaustive-tracing ablation
+//	fcatch-bench -randinject [-runs N]# §8.3 random-injection baseline
+//	fcatch-bench -triggering          # §8.4 fault-type matrix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fcatch"
+	"fcatch/internal/core"
+	"fcatch/internal/sim"
+)
+
+func main() {
+	table := flag.Int("table", 0, "render table N (1-5)")
+	all := flag.Bool("all", false, "run every experiment")
+	sensitivity := flag.Bool("sensitivity", false, "crash-point sensitivity study (§8.1.2)")
+	ablation := flag.Bool("ablation", false, "exhaustive-tracing ablation (§8.2)")
+	pruning := flag.Bool("pruning", false, "pruning-analysis ablation (§8.4)")
+	randinject := flag.Bool("randinject", false, "random fault-injection baseline (§8.3)")
+	triggering := flag.Bool("triggering", false, "fault-type trigger matrix (§8.4)")
+	runs := flag.Int("runs", 400, "runs per workload for -randinject")
+	seed := flag.Int64("seed", 1, "deterministic scheduler seed")
+	flag.Parse()
+
+	opts := core.Options{Seed: *seed, Phase: fcatch.PhaseBegin, Tracing: sim.TraceSelective, MeasureBaseline: true}
+
+	needEval := *all || *triggering || (*table >= 2 && *table <= 5)
+	var eval *fcatch.EvalRun
+	if needEval {
+		var err error
+		fmt.Fprintln(os.Stderr, "fcatch-bench: running detection + triggering on all six workloads...")
+		eval, err = fcatch.RunEvaluation(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fcatch-bench:", err)
+			os.Exit(1)
+		}
+	}
+
+	show := func(n int) bool { return *all || *table == n }
+	if show(1) {
+		fmt.Println(fcatch.RenderTable1())
+	}
+	if show(2) {
+		fmt.Println(eval.RenderTable2())
+	}
+	if show(3) {
+		fmt.Println(eval.RenderTable3())
+	}
+	if show(4) {
+		fmt.Println(eval.RenderTable4())
+	}
+	if show(5) {
+		fmt.Println(eval.RenderTable5())
+	}
+	if *all || *sensitivity {
+		s, err := fcatch.Sensitivity(*seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fcatch-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(fcatch.RenderSensitivity(s))
+	}
+	if *all || *ablation {
+		fmt.Println(fcatch.RenderAblation(fcatch.AblationTraceAll(*seed)))
+	}
+	if *all || *pruning {
+		rows, err := fcatch.PruningAblation(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fcatch-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(fcatch.RenderPruningAblation(rows))
+	}
+	if *all || *randinject {
+		var results []*fcatch.RandomResult
+		for _, w := range fcatch.Workloads() {
+			fmt.Fprintf(os.Stderr, "fcatch-bench: random injection on %s (%d runs)...\n", w.Name(), *runs)
+			r, err := fcatch.RandomInjection(w, *runs, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fcatch-bench:", err)
+				os.Exit(1)
+			}
+			results = append(results, r)
+		}
+		fmt.Println(fcatch.RenderRandom(results))
+	}
+	if *all || *triggering {
+		fmt.Println(eval.RenderTriggerMatrix())
+	}
+	if !*all && *table == 0 && !*sensitivity && !*ablation && !*pruning && !*randinject && !*triggering {
+		flag.Usage()
+	}
+}

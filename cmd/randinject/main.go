@@ -1,0 +1,46 @@
+// Command randinject is the state-of-practice baseline FCatch is compared
+// against (Section 8.3): run a workload many times, crash a node at a
+// uniformly random point each time, and count which bugs ever manifest.
+//
+//	randinject -workload MR1 -runs 400
+//	randinject -runs 400               # all six workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fcatch"
+)
+
+func main() {
+	workload := flag.String("workload", "", "one workload (default: all six)")
+	runs := flag.Int("runs", 400, "injection runs per workload")
+	seed := flag.Int64("seed", 1, "deterministic base seed")
+	flag.Parse()
+
+	var targets []fcatch.Workload
+	if *workload != "" {
+		w, err := fcatch.ByName(*workload)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "randinject:", err)
+			os.Exit(1)
+		}
+		targets = []fcatch.Workload{w}
+	} else {
+		targets = fcatch.Workloads()
+	}
+
+	var results []*fcatch.RandomResult
+	for _, w := range targets {
+		fmt.Fprintf(os.Stderr, "randinject: %s, %d runs...\n", w.Name(), *runs)
+		r, err := fcatch.RandomInjection(w, *runs, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "randinject:", err)
+			os.Exit(1)
+		}
+		results = append(results, r)
+	}
+	fmt.Print(fcatch.RenderRandom(results))
+}

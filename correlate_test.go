@@ -1,0 +1,80 @@
+package fcatch_test
+
+import (
+	"strings"
+	"testing"
+
+	"fcatch"
+)
+
+// TestCorrelateRecoveryGroupsServerShutdownReads: HB2's log split and queue
+// adoption run in one recovery worker; their reports (HB2, HB5, HB6 and the
+// benign cursor pairs) must land in a single correlated group.
+func TestCorrelateRecoveryGroupsServerShutdownReads(t *testing.T) {
+	res, err := fcatch.Detect(fcatch.MustWorkload("HB2"), fcatch.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := fcatch.CorrelateRecovery(res)
+	if len(groups) == 0 {
+		t.Fatal("no groups")
+	}
+	var shutdown *fcatch.ReportGroup
+	for i := range groups {
+		for _, r := range groups[i].Reports {
+			if strings.Contains(r.ResClass, "splitlog") {
+				shutdown = &groups[i]
+			}
+		}
+	}
+	if shutdown == nil {
+		t.Fatal("no group contains the split-lock report")
+	}
+	classes := map[string]bool{}
+	for _, r := range shutdown.Reports {
+		classes[r.ResClass] = true
+	}
+	wantSome := 0
+	for c := range classes {
+		if strings.Contains(c, "splitlog") || strings.Contains(c, "replication") {
+			wantSome++
+		}
+	}
+	if wantSome < 2 {
+		t.Fatalf("shutdown group should correlate the lock and queue reports; got classes %v", classes)
+	}
+	if shutdown.WindowStart <= 0 || shutdown.WindowEnd < shutdown.WindowStart {
+		t.Fatalf("bad window: [%d, %d]", shutdown.WindowStart, shutdown.WindowEnd)
+	}
+	total := 0
+	for _, g := range groups {
+		total += len(g.Reports)
+	}
+	recCount := 0
+	for _, r := range res.Reports {
+		if r.Type == fcatch.CrashRecoveryBug {
+			recCount++
+		}
+	}
+	if total != recCount {
+		t.Fatalf("groups cover %d reports, want all %d crash-recovery reports", total, recCount)
+	}
+}
+
+// TestCorrelateRecoverySeparatesIndependentDecisions: MR2's restarted AM
+// reads everything in its main activation — one group — while an unrelated
+// workload's reports never co-group with it.
+func TestCorrelateRecoveryMR2(t *testing.T) {
+	res, err := fcatch.Detect(fcatch.MustWorkload("MR2"), fcatch.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := fcatch.CorrelateRecovery(res)
+	for _, g := range groups {
+		if len(g.Reports) >= 3 {
+			// job.xml + splits + commit markers consumed by one restart.
+			return
+		}
+	}
+	t.Fatalf("expected one AM-restart group with >=3 reports; groups=%d", len(groups))
+}

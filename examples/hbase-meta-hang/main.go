@@ -1,0 +1,50 @@
+// The paper's Figure 6 bug: HMaster polls its region-in-transition map until
+// a RegionServer's OPENED registration (relayed through ZooKeeper watch
+// events) removes the META entry. If the RegionServer crashes between
+// OPENING and OPENED, the master polls forever and the whole cluster is
+// unavailable.
+//
+// The example also reproduces the Section 8.4 observation that HB1 can only
+// be triggered by a node crash: the OPENED update travels through ZooKeeper,
+// so dropping network messages cannot remove it.
+//
+//	go run ./examples/hbase-meta-hang
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"fcatch"
+)
+
+func main() {
+	w := fcatch.MustWorkload("HB1")
+
+	res, err := fcatch.Detect(w, fcatch.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("HB1 workload: %d reports\n", len(res.Reports))
+
+	for _, out := range fcatch.Trigger(w, res) {
+		if !strings.Contains(out.Report.ResClass, "rit#.meta") {
+			continue
+		}
+		r := out.Report
+		fmt.Println("\nFigure 6 in code:")
+		fmt.Printf("  R  = the master's RIT poll        @ %s\n", r.R.Site)
+		fmt.Printf("  W  = the RIT.remove(META) write   @ %s\n", r.W.Site)
+		fmt.Printf("  W' = the RegionServer's OPENED update @ %s on %s\n", r.WPrime.Site, r.WPrime.PID)
+		fmt.Printf("\n  verdict: %s\n", out.Class)
+		fmt.Println("  fault types tried against W' (Section 8.4):")
+		for _, kind := range []string{"node-crash", "kernel-drop", "app-drop"} {
+			mark := "tolerated"
+			if out.ByAction[kind] {
+				mark = "TRIGGERS THE HANG"
+			}
+			fmt.Printf("    %-12s %s\n", kind, mark)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package fcatch is a from-scratch reproduction of "FCatch: Automatically
+// Detecting Time-of-fault Bugs in Cloud Systems" (ASPLOS 2018).
+//
+// FCatch predicts time-of-fault (TOF) bugs — failures that manifest only
+// when a node crashes or a message drops at a special moment — by observing
+// *correct* executions of a distributed system:
+//
+//	obs, _ := fcatch.Detect(fcatch.MustWorkload("MR1"), fcatch.DefaultOptions())
+//	for _, report := range obs.Reports {
+//	    fmt.Println(report)
+//	}
+//	outcomes := fcatch.Trigger(fcatch.MustWorkload("MR1"), obs)
+//
+// The package bundles deterministic miniature reproductions of the paper's
+// four target systems (MapReduce, HBase, Cassandra, ZooKeeper) running on a
+// cooperative cluster simulator, the two TOF bug detectors (crash-regular
+// and crash-recovery), the fault-tolerance pruning analyses, the automated
+// bug-triggering module, and the random fault-injection baseline. See
+// DESIGN.md for the architecture and EXPERIMENTS.md for the
+// paper-vs-reproduction comparison of every table.
+package fcatch
+
+import (
+	"fmt"
+
+	"fcatch/internal/apps/cassandra"
+	"fcatch/internal/apps/hbase"
+	"fcatch/internal/apps/mapreduce"
+	"fcatch/internal/apps/toy"
+	"fcatch/internal/apps/zookeeper"
+	"fcatch/internal/core"
+	"fcatch/internal/detect"
+	"fcatch/internal/inject"
+)
+
+// Re-exported core types, so downstream users only import this package.
+type (
+	// Workload is a benchmark system + driver (a Table 1 row).
+	Workload = core.Workload
+	// Options parameterizes a detection pass.
+	Options = core.Options
+	// Result is one full detection pass (observation + reports).
+	Result = core.Result
+	// Report is one predicted TOF bug.
+	Report = detect.Report
+	// TriggerOutcome is the verdict of replaying one report's fault.
+	TriggerOutcome = inject.Outcome
+	// RandomResult summarizes a random fault-injection campaign.
+	RandomResult = inject.RandomResult
+	// Phase selects where the observation crash lands.
+	Phase = core.Phase
+)
+
+// Observation-crash phases (Section 8.1.2 sensitivity study).
+const (
+	PhaseBegin  = core.PhaseBegin
+	PhaseMiddle = core.PhaseMiddle
+	PhaseEnd    = core.PhaseEnd
+)
+
+// Trigger classifications.
+const (
+	TrueBug  = inject.TrueBug
+	Expected = inject.Expected
+	Benign   = inject.Benign
+)
+
+// BugType aliases the detector's bug-type enum.
+type BugType = detect.BugType
+
+// The two TOF bug classes of Section 2.
+const (
+	CrashRegularBug  = detect.CrashRegular
+	CrashRecoveryBug = detect.CrashRecovery
+)
+
+// DefaultOptions is the paper's evaluation setting: selective tracing, crash
+// near the beginning of the execution.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Workloads returns the six benchmark workloads of Table 1, in table order.
+func Workloads() []Workload {
+	return []Workload{
+		cassandra.New(),
+		hbase.NewHB1(),
+		hbase.NewHB2(),
+		mapreduce.NewMR1(),
+		mapreduce.NewMR2(),
+		zookeeper.New(),
+	}
+}
+
+// ByName returns the workload with the given benchmark name ("CA1&2", "HB1",
+// "HB2", "MR1", "MR2", "ZK") or the tutorial workload "TOY".
+func ByName(name string) (Workload, error) {
+	if name == "TOY" {
+		return toy.New(), nil
+	}
+	for _, w := range Workloads() {
+		if w.Name() == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("fcatch: unknown workload %q", name)
+}
+
+// MustWorkload is ByName, panicking on unknown names (for examples/tests).
+func MustWorkload(name string) Workload {
+	w, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Detect runs the full FCatch pipeline (Figure 2) on a workload: observe a
+// fault-free run and a checkpoint-paired correct faulty run, analyze both
+// traces with the crash-regular and crash-recovery detectors, prune, and
+// return the deduplicated reports.
+func Detect(w Workload, opts Options) (*Result, error) {
+	return core.Detect(w, opts)
+}
+
+// Trigger replays every report's fault (Section 5) and classifies each as a
+// true bug, an expected/handled reaction, or benign. It replays with the
+// observation's seed so trigger points land on the reported operations.
+func Trigger(w Workload, res *Result) []*TriggerOutcome {
+	tg := inject.NewTriggerer(w, res.Options.Seed)
+	return tg.TriggerAll(res.Reports)
+}
+
+// RandomInjection runs the Section 8.3 baseline: `runs` executions with a
+// node crash at a uniformly random step each.
+func RandomInjection(w Workload, runs int, seed int64) (*RandomResult, error) {
+	return inject.RandomCampaign(w, runs, seed)
+}
+
+// ReportGroup is a correlated set of crash-recovery reports (the Section 2.3
+// multi-resource extension).
+type ReportGroup = detect.ReportGroup
+
+// CorrelateRecovery groups a detection result's crash-recovery reports by
+// the recovery activation that consumes them: one group = one recovery
+// decision reading several of the crash node's leftovers, i.e. a single
+// fault window touching multiple resources. This implements the extension
+// the paper's Section 2.3 leaves as future work.
+func CorrelateRecovery(res *Result) []ReportGroup {
+	return detect.CorrelateRecovery(res.Observation.Faulty, res.Reports)
+}

@@ -1,0 +1,3 @@
+module fcatch
+
+go 1.22

@@ -1,0 +1,236 @@
+// Package core orchestrates the FCatch pipeline of Figure 2: observe correct
+// runs (a fault-free run plus, via deterministic replay standing in for VM
+// checkpointing, a perfectly complementing correct faulty run), analyze the
+// traces with the two detectors, and hand the reports to the triggering
+// module.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"fcatch/internal/detect"
+	"fcatch/internal/hb"
+	"fcatch/internal/sim"
+	"fcatch/internal/trace"
+)
+
+// Workload is one benchmark configuration (a Table 1 row): a system plus the
+// workload driven on it.
+type Workload interface {
+	// Name is the benchmark id ("CA1&2", "HB1", "MR2", ...).
+	Name() string
+	// System is the application name ("Cassandra", "HBase", ...).
+	System() string
+	// Configure builds the system inside the cluster: machines, processes,
+	// storage substrates, workload driver threads.
+	Configure(c *sim.Cluster)
+	// Check validates the end state of a finished run (the correctness
+	// oracle): nil means the run is correct. It must accept runs that
+	// recovered from a tolerated fault.
+	Check(c *sim.Cluster, out *sim.Outcome) error
+	// CrashTarget is the role observation runs and the random-injection
+	// baseline crash.
+	CrashTarget() string
+	// RestartRoles maps roles to restart delays, the operator/recovery
+	// behaviour after a crash.
+	RestartRoles() map[string]int64
+	// Tune sets app-specific cluster parameters (RPC timeout behaviour,
+	// step budget).
+	Tune(cfg *sim.Config)
+	// ExpectedBehaviors are substrings of hang sites / exception kinds that
+	// are *expected* reactions to a fault (e.g. HMaster legitimately waits
+	// forever when every regionserver is gone). The triggering module
+	// classifies matching failures as "Exp." rather than true bugs.
+	ExpectedBehaviors() []string
+}
+
+// Phase selects where the observation crash lands (the Section 8.1.2
+// sensitivity study).
+type Phase int
+
+const (
+	// PhaseBegin crashes near the beginning of the execution (the default
+	// setting of the paper's evaluation).
+	PhaseBegin Phase = iota
+	// PhaseMiddle crashes mid-execution.
+	PhaseMiddle
+	// PhaseEnd crashes near the end.
+	PhaseEnd
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseBegin:
+		return "begin"
+	case PhaseMiddle:
+		return "middle"
+	default:
+		return "end"
+	}
+}
+
+func (p Phase) fraction() float64 {
+	switch p {
+	case PhaseBegin:
+		return 0.12
+	case PhaseMiddle:
+		return 0.50
+	default:
+		return 0.88
+	}
+}
+
+// Options parameterize one detection pass.
+type Options struct {
+	Seed    int64
+	Phase   Phase
+	Tracing sim.TracingMode // TraceSelective unless running the §8.2 ablation
+	// MeasureBaseline additionally times untraced runs (Table 4).
+	MeasureBaseline bool
+	// Detect toggles the fault-tolerance pruning analyses (ablations only).
+	Detect detect.Options
+}
+
+// DefaultOptions is the paper's evaluation setting.
+func DefaultOptions() Options {
+	return Options{Seed: 1, Phase: PhaseBegin, Tracing: sim.TraceSelective}
+}
+
+// Timings is the Table 4 row for one workload (durations in wall-clock).
+type Timings struct {
+	BaselineFaultFree time.Duration
+	BaselineFaulty    time.Duration
+	TracingFaultFree  time.Duration
+	TracingFaulty     time.Duration
+	AnalysisRegular   time.Duration
+	AnalysisRecovery  time.Duration
+}
+
+// Overall is tracing + analysis time (the paper's "Overall" column).
+func (t Timings) Overall() time.Duration {
+	return t.TracingFaultFree + t.TracingFaulty + t.AnalysisRegular + t.AnalysisRecovery
+}
+
+// Slowdown is Overall / fault-free baseline.
+func (t Timings) Slowdown() float64 {
+	if t.BaselineFaultFree <= 0 {
+		return 0
+	}
+	return float64(t.Overall()) / float64(t.BaselineFaultFree)
+}
+
+// Observation is one checkpoint-paired pair of correct runs.
+type Observation struct {
+	FaultFree        *trace.Trace
+	Faulty           *trace.Trace
+	FaultFreeOutcome *sim.Outcome
+	FaultyOutcome    *sim.Outcome
+	CrashStep        int64
+	Timings          Timings
+}
+
+// runOnce builds a cluster for w and runs it.
+func runOnce(w Workload, seed int64, mode sim.TracingMode, plan *sim.FaultPlan) (*sim.Cluster, *sim.Outcome) {
+	cfg := sim.Config{Seed: seed, Tracing: mode, Plan: plan, TraceTickCost: traceTickCost(mode)}
+	w.Tune(&cfg)
+	c := sim.NewCluster(cfg)
+	w.Configure(c)
+	out := c.Run()
+	return c, out
+}
+
+// traceTickCost models instrumentation slowdown inside simulated time: the
+// selective tracer is cheap; tracing every heap access is not (§8.2).
+func traceTickCost(mode sim.TracingMode) int64 {
+	switch mode {
+	case sim.TraceExhaustive:
+		return 6
+	case sim.TraceSelective:
+		return 1
+	}
+	return 0
+}
+
+// Observe produces the pair of correct runs FCatch analyzes (Section 3.1).
+// The fault-free run is traced first; then the run is deterministically
+// replayed with a crash of the workload's crash target injected at the
+// phase-chosen step. If the faulty run turns out incorrect (the random crash
+// point landed inside a bug window — rare by construction), the crash point
+// is nudged and the replay repeated, mirroring "almost every random fault
+// injection works".
+func Observe(w Workload, opts Options) (*Observation, error) {
+	obs := &Observation{}
+
+	if opts.MeasureBaseline {
+		_, out := runOnce(w, opts.Seed, sim.TraceOff, nil)
+		obs.Timings.BaselineFaultFree = out.Elapsed
+	}
+
+	cf, outF := runOnce(w, opts.Seed, opts.Tracing, nil)
+	if err := w.Check(cf, outF); err != nil {
+		return nil, fmt.Errorf("core: fault-free run of %s is incorrect: %w", w.Name(), err)
+	}
+	obs.FaultFree = cf.Trace()
+	obs.FaultFreeOutcome = outF
+	obs.Timings.TracingFaultFree = outF.Elapsed
+
+	total := outF.Steps
+	step := int64(float64(total) * opts.Phase.fraction())
+	var lastErr error
+	for attempt := 0; attempt < 8; attempt++ {
+		plan := sim.NewObservationPlan(w.CrashTarget(), step, w.RestartRoles())
+		cy, outY := runOnce(w, opts.Seed, opts.Tracing, plan)
+		if err := w.Check(cy, outY); err != nil {
+			lastErr = err
+			step += total/23 + 7 // nudge the crash point and retry
+			continue
+		}
+		if opts.MeasureBaseline {
+			basePlan := sim.NewObservationPlan(w.CrashTarget(), step, w.RestartRoles())
+			_, outB := runOnce(w, opts.Seed, sim.TraceOff, basePlan)
+			obs.Timings.BaselineFaulty = outB.Elapsed
+		}
+		obs.Faulty = cy.Trace()
+		obs.FaultyOutcome = outY
+		obs.Timings.TracingFaulty = outY.Elapsed
+		obs.CrashStep = cy.Trace().CrashStep
+		return obs, nil
+	}
+	return nil, fmt.Errorf("core: could not obtain a correct faulty run of %s: %w", w.Name(), lastErr)
+}
+
+// Result is one full detection pass over a workload.
+type Result struct {
+	Workload    string
+	Options     Options
+	Observation *Observation
+	Regular     *detect.RegularResult
+	Recovery    *detect.RecoveryResult
+	// Reports is the merged, deduplicated report list.
+	Reports []*detect.Report
+}
+
+// Detect runs the full FCatch pipeline (Figure 2, steps 1–3) on a workload.
+func Detect(w Workload, opts Options) (*Result, error) {
+	obs, err := Observe(w, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Workload: w.Name(), Options: opts, Observation: obs}
+
+	t0 := time.Now()
+	gf := hb.New(obs.FaultFree)
+	res.Regular = detect.DetectRegularOpts(gf, w.Name(), opts.Detect)
+	obs.Timings.AnalysisRegular = time.Since(t0)
+
+	t1 := time.Now()
+	gy := hb.New(obs.Faulty)
+	res.Recovery = detect.DetectRecoveryOpts(gf, gy, w.Name(), opts.Detect)
+	obs.Timings.AnalysisRecovery = time.Since(t1)
+
+	res.Reports = append(res.Reports, res.Regular.Reports...)
+	res.Reports = append(res.Reports, res.Recovery.Reports...)
+	res.Reports = detect.Dedup(res.Reports)
+	return res, nil
+}

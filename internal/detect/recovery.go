@@ -1,0 +1,304 @@
+package detect
+
+import (
+	"sort"
+	"strings"
+
+	"fcatch/internal/hb"
+	"fcatch/internal/trace"
+)
+
+// RecoveryResult is the crash-recovery detector's output on one
+// checkpoint-paired run pair.
+type RecoveryResult struct {
+	Reports []*Report
+	Pruned  PruneCounters
+	// RecoveryPIDs are the processes identified as recovery nodes.
+	RecoveryPIDs []string
+}
+
+// isConsumer reports whether a record consumes shared-resource content for
+// conflict purposes: read-like ops, plus creates (which consume the prior
+// existence state — the HB2 Create-vs-Create pattern).
+func isConsumer(r *trace.Record) bool {
+	if r.Kind.IsReadLike() {
+		return true
+	}
+	return r.Kind == trace.KStCreate || (r.Kind == trace.KKVUpdate && r.Aux == "create")
+}
+
+// isPersistentRes reports whether the resource survives a process crash.
+func isPersistentRes(res string) bool {
+	return strings.HasPrefix(res, "gfs:") || strings.HasPrefix(res, "lfs:") || strings.HasPrefix(res, "zk:")
+}
+
+// isImpactSink matches the failure-prone impact sinks of Section 4.3.3:
+// locally an exception throw, a fatal log, an event creation, or a service
+// start; globally an RPC invocation/return or a message send (RPC returns
+// are reply message sends here).
+func isImpactSink(k trace.Kind) bool {
+	switch k {
+	case trace.KThrow, trace.KLogFatal, trace.KEventEnq, trace.KServiceStart,
+		trace.KRPCCall, trace.KMsgSend:
+		return true
+	}
+	return false
+}
+
+// DetectRecovery predicts crash-recovery TOF bugs from a checkpoint-paired
+// fault-free trace and correct faulty trace (Section 4.3). Both runs share
+// an identical prefix up to the faulty run's crash step, so resource IDs
+// coincide across them and no ID translation is needed.
+func DetectRecovery(gf, gy *hb.Graph, workload string) *RecoveryResult {
+	return DetectRecoveryOpts(gf, gy, workload, Options{})
+}
+
+// DetectRecoveryOpts is DetectRecovery with the pruning analyses toggleable.
+func DetectRecoveryOpts(gf, gy *hb.Graph, workload string, opts Options) *RecoveryResult {
+	res := &RecoveryResult{}
+	tf, ty := gf.Ix.T, gy.Ix.T
+	crashed := ty.CrashedPID
+	if crashed == "" {
+		return res
+	}
+	crashedRole := roleOf(crashed)
+	sitesF := buildSiteIndex(tf)
+	sitesY := buildSiteIndex(ty)
+
+	// --- Step 1: recovery operations in the faulty run (Section 4.3.1).
+	// Recovery nodes are processes that exist in the faulty trace but not in
+	// the fault-free trace; registered recovery handlers add more roots.
+	recPIDs := map[string]bool{}
+	for _, pid := range ty.PIDs {
+		if !tf.HasPID(pid) && pid != "system" {
+			recPIDs[pid] = true
+			res.RecoveryPIDs = append(res.RecoveryPIDs, pid)
+		}
+	}
+	var seeds []trace.OpID
+	for i := range ty.Records {
+		r := &ty.Records[i]
+		if r.Kind == trace.KThreadStart && recPIDs[r.PID] {
+			seeds = append(seeds, r.ID)
+		}
+		if r.Kind == trace.KHandlerBegin && r.HasFlag(trace.FlagRecoveryRoot) {
+			seeds = append(seeds, r.ID)
+		}
+	}
+	recOps := gy.ForwardClosure(seeds)
+
+	var recReads []*trace.Record  // consumers among recovery ops
+	var recWrites []*trace.Record // for reset (data-dependence) pruning
+	for id := range recOps {
+		r := ty.At(id)
+		if r == nil || r.Res == "" || strings.HasPrefix(r.Res, "cv:") {
+			continue
+		}
+		// Heap content of the crashed process is wiped; ignore it.
+		if strings.HasPrefix(r.Res, "heap:"+crashed+":") {
+			continue
+		}
+		if isConsumer(r) {
+			recReads = append(recReads, r)
+		}
+		if r.Kind.IsWriteLike() && !r.HasFlag(trace.FlagFailed) {
+			recWrites = append(recWrites, r)
+		}
+	}
+	sort.Slice(recReads, func(i, j int) bool { return recReads[i].ID < recReads[j].ID })
+	sort.Slice(recWrites, func(i, j int) bool { return recWrites[i].ID < recWrites[j].ID })
+
+	// --- Step 2: crash operations, from the fault-free trace — what the
+	// crashing node did and *could have done* had it lived longer.
+	crashWrites := map[string][]*trace.Record{} // resource -> writes
+	addCrashWrite := func(r *trace.Record) {
+		if r.Res == "" || strings.HasPrefix(r.Res, "cv:") || r.HasFlag(trace.FlagFailed) {
+			return
+		}
+		if strings.HasPrefix(r.Res, "heap:"+crashed+":") {
+			return // dies with the node
+		}
+		crashWrites[r.Res] = append(crashWrites[r.Res], r)
+	}
+	remote := gf.ForwardClosure(gf.EscapingSeeds(crashed))
+	for i := range tf.Records {
+		r := &tf.Records[i]
+		if !r.Kind.IsWriteLike() {
+			continue
+		}
+		if r.PID == crashed && isPersistentRes(r.Res) {
+			addCrashWrite(r)
+			continue
+		}
+		if remote[r.ID] && (isPersistentRes(r.Res) || strings.HasPrefix(r.Res, "heap:")) {
+			addCrashWrite(r)
+		}
+	}
+
+	// --- Step 3: conflicting pairs by resource ID.
+	type pair struct {
+		w, r *trace.Record
+	}
+	var pairs []pair
+	for _, r := range recReads {
+		for _, w := range crashWrites[r.Res] {
+			if w.Site == r.Site && w.PID == r.PID {
+				continue // same static op from the same process: no conflict
+			}
+			pairs = append(pairs, pair{w: w, r: r})
+		}
+	}
+
+	// --- Step 4a: control-dependence sanity-check pruning (Figure 8).
+	// If recovery read R2 control-depends on recovery read R1 and both touch
+	// the same resource, R1 is the sanity check protecting R2.
+	inCandidates := map[trace.OpID]bool{}
+	byRes := map[string][]*trace.Record{}
+	for _, p := range pairs {
+		if !inCandidates[p.r.ID] {
+			inCandidates[p.r.ID] = true
+			byRes[p.r.Res] = append(byRes[p.r.Res], p.r)
+		}
+	}
+	sanityChecked := map[trace.OpID]bool{}
+	for _, rs := range byRes {
+		for _, r2 := range rs {
+			for _, r1 := range rs {
+				if r1.ID == r2.ID {
+					continue
+				}
+				if containsOp(r2.Ctl, r1.ID) {
+					sanityChecked[r2.ID] = true
+				}
+			}
+		}
+	}
+
+	// --- Step 4b: data-dependence (reset) pruning. A recovery write to the
+	// same resource before R means recovery replaced the left-over content.
+	resetProtected := func(r *trace.Record) bool {
+		for _, w := range recWrites {
+			if w.Res == r.Res && w.ID < r.ID && w.ID != r.ID {
+				return true
+			}
+		}
+		return false
+	}
+
+	// --- Step 4c: impact estimation. R must reach a failure-prone sink
+	// through data or control dependence.
+	hasImpact := func(r *trace.Record) bool {
+		for i := range ty.Records {
+			s := &ty.Records[i]
+			if s.ID <= r.ID || !isImpactSink(s.Kind) {
+				continue
+			}
+			if containsOp(s.Taint, r.ID) || containsOp(s.Ctl, r.ID) {
+				return true
+			}
+		}
+		return false
+	}
+	impactCache := map[trace.OpID]bool{}
+
+	var reports []*Report
+	for _, p := range pairs {
+		if sanityChecked[p.r.ID] || resetProtected(p.r) {
+			res.Pruned.Dependence++
+			if !opts.DisableDependencePruning {
+				continue
+			}
+		}
+		imp, ok := impactCache[p.r.ID]
+		if !ok {
+			imp = hasImpact(p.r)
+			impactCache[p.r.ID] = imp
+		}
+		if !imp {
+			res.Pruned.Impact++
+			if !opts.DisableImpactPruning {
+				continue
+			}
+		}
+
+		// Trigger timing (Section 5): if W already executed before the crash
+		// in the faulty run, inject the crash right before it; if it only
+		// appears in the fault-free continuation, inject right after it.
+		occF := sitesF.occurrence(p.w)
+		inFaulty := len(sitesY[p.w.Site]) >= occF
+		if inFaulty {
+			// Confirm the occurrence in the faulty run predates the crash
+			// (it must, by prefix equality, but stay defensive).
+			id := sitesY[p.w.Site][occF-1]
+			if rec := ty.At(id); rec == nil || rec.TS > ty.CrashStep {
+				inFaulty = false
+			}
+		}
+
+		reports = append(reports, &Report{
+			Type:            CrashRecovery,
+			OpsDesc:         opsDesc(p.w, p.r),
+			Resource:        p.r.Res,
+			ResClass:        normalizeRes(p.r.Res),
+			W:               summarize(p.w, occF),
+			R:               summarize(p.r, sitesY.occurrence(p.r)),
+			WInFaultyRun:    inFaulty,
+			CrashTargetPID:  crashed,
+			CrashTargetRole: crashedRole,
+			Workload:        workload,
+		})
+	}
+	res.Reports = Dedup(reports)
+	return res
+}
+
+func containsOp(set []trace.OpID, id trace.OpID) bool {
+	for _, x := range set {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// opsDesc renders the Table 2 "Operations" column for a pair.
+func opsDesc(w, r *trace.Record) string {
+	return opName(w) + " vs " + opName(r)
+}
+
+func opName(r *trace.Record) string {
+	switch r.Kind {
+	case trace.KHeapWrite:
+		return "Write"
+	case trace.KHeapRead, trace.KStRead:
+		return "Read"
+	case trace.KLoopRead:
+		return "Loop"
+	case trace.KStCreate:
+		return "Create"
+	case trace.KStDelete:
+		return "Delete"
+	case trace.KStWrite:
+		return "Write"
+	case trace.KStRename:
+		return "Rename"
+	case trace.KStExists:
+		return "Exists"
+	case trace.KStList:
+		return "List"
+	case trace.KSignal:
+		return "Signal"
+	case trace.KWait:
+		return "Wait"
+	case trace.KKVUpdate:
+		switch r.Aux {
+		case "create":
+			return "Create"
+		case "delete":
+			return "Delete"
+		default:
+			return "Write"
+		}
+	}
+	return r.Kind.String()
+}

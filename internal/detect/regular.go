@@ -1,0 +1,205 @@
+package detect
+
+import (
+	"sort"
+
+	"fcatch/internal/hb"
+	"fcatch/internal/trace"
+)
+
+// RegularResult is the crash-regular detector's output on one correct run.
+type RegularResult struct {
+	Reports []*Report
+	Pruned  PruneCounters
+}
+
+// siteIndex counts traced occurrences per site, matching the occurrence
+// numbering the fault injector uses at run time.
+type siteIndex map[string][]trace.OpID
+
+func buildSiteIndex(t *trace.Trace) siteIndex {
+	ix := make(siteIndex)
+	for i := range t.Records {
+		r := &t.Records[i]
+		// Fault bookkeeping records reuse the trigger's site; they are not
+		// operations the injector counts.
+		if r.Kind == trace.KCrash || r.Kind == trace.KRestart {
+			continue
+		}
+		if r.Site != "" {
+			ix[r.Site] = append(ix[r.Site], r.ID)
+		}
+	}
+	return ix
+}
+
+func (s siteIndex) occurrence(r *trace.Record) int {
+	ids := s[r.Site]
+	for i, id := range ids {
+		if id == r.ID {
+			return i + 1
+		}
+	}
+	return 1
+}
+
+// DetectRegular predicts crash-regular TOF bugs from one fault-free trace
+// (Section 4.2): it pairs blocking operations (standard signal/wait and
+// custom loop-signals), keeps pairs whose W causally comes from another
+// node, and prunes pairs protected by timeout mechanisms.
+func DetectRegular(g *hb.Graph, workload string) *RegularResult {
+	return DetectRegularOpts(g, workload, Options{})
+}
+
+// DetectRegularOpts is DetectRegular with the pruning analyses toggleable.
+func DetectRegularOpts(g *hb.Graph, workload string, opts Options) *RegularResult {
+	t := g.Ix.T
+	sites := buildSiteIndex(t)
+	res := &RegularResult{}
+
+	type group struct {
+		reports []*Report
+		timed   bool // any instance protected by a timeout
+	}
+	groups := make(map[string]*group)
+	var order []string
+	addCandidate := func(rep *Report, timed bool) {
+		k := rep.Key()
+		grp, ok := groups[k]
+		if !ok {
+			grp = &group{}
+			groups[k] = grp
+			order = append(order, k)
+		}
+		grp.reports = append(grp.reports, rep)
+		grp.timed = grp.timed || timed
+	}
+
+	// --- Standard condition-variable signal/wait pairs (Section 4.2.1). ---
+	var cvResIDs []string
+	for resID := range g.Ix.ByRes {
+		if len(resID) >= 3 && resID[:3] == "cv:" {
+			cvResIDs = append(cvResIDs, resID)
+		}
+	}
+	sort.Strings(cvResIDs)
+	for _, resID := range cvResIDs {
+		var waits, signals []*trace.Record
+		for _, id := range g.Ix.ByRes[resID] {
+			r := t.At(id)
+			switch r.Kind {
+			case trace.KWait:
+				waits = append(waits, r)
+			case trace.KSignal:
+				signals = append(signals, r)
+			}
+		}
+		for _, w := range waits {
+			var sig *trace.Record
+			for _, s := range signals {
+				if s.ID > w.ID {
+					sig = s
+					break
+				}
+			}
+			if sig == nil || sig.Thread == w.Thread {
+				continue
+			}
+			wp := g.CrossNodeAncestor(sig.ID)
+			if wp == nil {
+				continue // the signal is purely local; no fault can remove it
+			}
+			wps := summarize(wp, sites.occurrence(wp))
+			rep := &Report{
+				Type:            CrashRegular,
+				OpsDesc:         "Signal vs Wait",
+				Resource:        resID,
+				ResClass:        normalizeRes(resID),
+				W:               summarize(sig, sites.occurrence(sig)),
+				R:               summarize(w, sites.occurrence(w)),
+				WPrime:          &wps,
+				CrashTargetPID:  wp.PID,
+				CrashTargetRole: roleOf(wp.PID),
+				Workload:        workload,
+			}
+			addCandidate(rep, w.HasFlag(trace.FlagTimedWait))
+		}
+	}
+
+	// --- Custom while-loop signals (Section 4.2.1, Figure 6). ---
+	for _, exitID := range g.Ix.ByKind[trace.KLoopExit] {
+		exit := t.At(exitID)
+		timeBased := false
+		var exitReads []*trace.Record
+		for _, taintID := range exit.Taint {
+			tr := t.At(taintID)
+			if tr == nil {
+				continue
+			}
+			switch tr.Kind {
+			case trace.KTimeRead:
+				timeBased = true
+			case trace.KLoopRead:
+				if tr.Thread == exit.Thread {
+					exitReads = append(exitReads, tr)
+				}
+			}
+		}
+		for _, r := range exitReads {
+			w := t.At(r.Src)
+			if w == nil || !w.Kind.IsWriteLike() {
+				continue
+			}
+			if w.Thread == r.Thread && w.Frame == r.Frame {
+				continue // same thread/handler: not a custom signal
+			}
+			wp := g.CrossNodeAncestor(w.ID)
+			if wp == nil {
+				continue
+			}
+			wps := summarize(wp, sites.occurrence(wp))
+			rep := &Report{
+				Type:            CrashRegular,
+				OpsDesc:         "Write vs Loop",
+				Resource:        r.Res,
+				ResClass:        normalizeRes(r.Res),
+				W:               summarize(w, sites.occurrence(w)),
+				R:               summarize(r, sites.occurrence(r)),
+				WPrime:          &wps,
+				CrashTargetPID:  wp.PID,
+				CrashTargetRole: roleOf(wp.PID),
+				Workload:        workload,
+			}
+			addCandidate(rep, timeBased)
+		}
+	}
+
+	// --- Timeout pruning (Section 4.2.2), per deduplicated candidate. ---
+	sort.Strings(order)
+	for _, k := range order {
+		grp := groups[k]
+		rep := grp.reports[0]
+		if grp.timed {
+			if rep.OpsDesc == "Signal vs Wait" {
+				res.Pruned.WaitTimeout++
+			} else {
+				res.Pruned.LoopTimeout++
+			}
+			if !opts.DisableTimeoutPruning {
+				continue
+			}
+		}
+		res.Reports = append(res.Reports, rep)
+	}
+	return res
+}
+
+// roleOf strips the incarnation suffix from a PID ("hmaster#2" → "hmaster").
+func roleOf(pid string) string {
+	for i := 0; i < len(pid); i++ {
+		if pid[i] == '#' {
+			return pid[:i]
+		}
+	}
+	return pid
+}

@@ -1,0 +1,168 @@
+// Package hb implements the causal and blocking relationship analysis of
+// Section 4.1: the causor/causee graph over a trace, Algorithm 1 (everything
+// causally depending on a seed set), Algorithm 2 (everything a seed set
+// causally depends on), and node attribution ("physically executes on N,
+// logically comes from N′").
+package hb
+
+import (
+	"fcatch/internal/trace"
+)
+
+// Graph wraps a trace index with causality traversals.
+type Graph struct {
+	Ix *trace.Index
+}
+
+// New builds the causality graph for a trace.
+func New(t *trace.Trace) *Graph {
+	return &Graph{Ix: trace.BuildIndex(t)}
+}
+
+// ForwardClosure is Algorithm 1: the set of operations that causally depend
+// on the seed operations. Seeds may be causal ops (thread creates, RPC
+// calls, message sends, event enqueues, KV updates) or activation records;
+// the closure contains every op inside activations they (transitively)
+// spawned, including the activation records themselves.
+func (g *Graph) ForwardClosure(seeds []trace.OpID) map[trace.OpID]bool {
+	visited := make(map[trace.OpID]bool)
+	out := make(map[trace.OpID]bool)
+	work := append([]trace.OpID(nil), seeds...)
+	push := func(id trace.OpID) {
+		if id != trace.NoOp && !visited[id] {
+			visited[id] = true
+			work = append(work, id)
+		}
+	}
+	for _, s := range seeds {
+		visited[s] = true
+	}
+	for len(work) > 0 {
+		h := work[len(work)-1]
+		work = work[:len(work)-1]
+		r := g.Ix.T.At(h)
+		if r == nil {
+			continue
+		}
+		// Ops inside an activation frame causally depend on the frame.
+		if r.Kind.IsActivation() || r.Kind == trace.KKVNotify {
+			out[h] = true
+			for _, op := range g.Ix.FrameOps[h] {
+				out[op] = true
+				push(op)
+			}
+		}
+		// Causees of causal ops (and of KV-notify records, which cause the
+		// watcher's handler activation).
+		if r.Kind.IsCausal() || r.Kind == trace.KKVNotify {
+			for _, act := range g.Ix.Causees[h] {
+				push(act)
+			}
+		}
+		if !r.Kind.IsActivation() {
+			out[h] = true
+		}
+	}
+	// Seeds themselves are not part of "operations depending on S" unless
+	// reached through another seed; the paper's Algorithm 1 includes them —
+	// keep them for parity.
+	for _, s := range seeds {
+		out[s] = true
+	}
+	return out
+}
+
+// BackwardChain is Algorithm 2: the operations a given op causally depends
+// on, nearest first. (Each op has at most one causor, so the closure is a
+// chain.)
+func (g *Graph) BackwardChain(op trace.OpID) []trace.OpID {
+	var out []trace.OpID
+	seen := map[trace.OpID]bool{op: true}
+	cur := g.Ix.T.At(op)
+	for cur != nil {
+		c := g.Ix.Causor(cur)
+		if c == nil || seen[c.ID] {
+			break
+		}
+		seen[c.ID] = true
+		out = append(out, c.ID)
+		cur = c
+	}
+	return out
+}
+
+// CrossNodeAncestor walks op's causor chain and returns the nearest ancestor
+// that physically executes on a different process — the W′ of a
+// crash-regular report: the remote operation whose disappearance (node
+// crash, message drop) makes op disappear. Returns nil if the chain stays on
+// one process.
+func (g *Graph) CrossNodeAncestor(op trace.OpID) *trace.Record {
+	r := g.Ix.T.At(op)
+	if r == nil {
+		return nil
+	}
+	for _, anc := range g.BackwardChain(op) {
+		ar := g.Ix.T.At(anc)
+		if ar == nil {
+			continue
+		}
+		// Notify records are coordination-service internals; the app-level
+		// operation a fault can remove is the update behind them.
+		if ar.Kind == trace.KKVNotify {
+			continue
+		}
+		if ar.PID != r.PID && ar.PID != "system" {
+			return ar
+		}
+	}
+	return nil
+}
+
+// LogicallyFrom reports whether op causally comes from process pid — it
+// physically executes there, or some causor ancestor does.
+func (g *Graph) LogicallyFrom(op trace.OpID, pid string) bool {
+	r := g.Ix.T.At(op)
+	if r == nil {
+		return false
+	}
+	if r.PID == pid {
+		return true
+	}
+	for _, anc := range g.BackwardChain(op) {
+		if ar := g.Ix.T.At(anc); ar != nil && ar.PID == pid {
+			return true
+		}
+	}
+	return false
+}
+
+// EscapingSeeds returns the causal operations physically on pid whose
+// effects land elsewhere: RPC calls and message sends targeting other
+// processes, and KV updates (shared persistent state). These seed the
+// crash-op identification of Section 4.3.1.
+func (g *Graph) EscapingSeeds(pid string) []trace.OpID {
+	var out []trace.OpID
+	for _, k := range []trace.Kind{trace.KRPCCall, trace.KMsgSend, trace.KEventEnq, trace.KKVUpdate} {
+		for _, id := range g.Ix.ByKind[k] {
+			r := g.Ix.T.At(id)
+			if r.PID != pid {
+				continue
+			}
+			switch k {
+			case trace.KRPCCall, trace.KMsgSend:
+				if r.Target != "" && r.Target != pid {
+					out = append(out, id)
+				}
+			case trace.KKVUpdate:
+				out = append(out, id)
+			case trace.KEventEnq:
+				// Intra-node events stay on the crashing node; only
+				// cross-process posts escape.
+				if r.Target != "" && r.Target != pid {
+					out = append(out, id)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package hb_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fcatch/internal/hb"
+	"fcatch/internal/trace"
+)
+
+// build constructs a small synthetic trace:
+//
+//	nodeA main:   send(m) ──► nodeB handler: write W, enq(e) ──► nodeB event handler: write W2
+//	nodeB main:   read R
+func build() (*trace.Trace, map[string]trace.OpID) {
+	tr := trace.New()
+	ids := map[string]trace.OpID{}
+
+	ids["a.start"] = tr.Append(trace.Record{Kind: trace.KThreadStart, PID: "a#1", Thread: 1, Causor: trace.NoOp})
+	ids["b.start"] = tr.Append(trace.Record{Kind: trace.KThreadStart, PID: "b#1", Thread: 2, Causor: trace.NoOp})
+	ids["send"] = tr.Append(trace.Record{Kind: trace.KMsgSend, PID: "a#1", Thread: 1, Frame: ids["a.start"], Target: "b#1", Aux: "m"})
+	ids["h.begin"] = tr.Append(trace.Record{Kind: trace.KHandlerBegin, PID: "b#1", Thread: 2, Frame: ids["b.start"], Causor: ids["send"], Aux: "msg:m"})
+	ids["W"] = tr.Append(trace.Record{Kind: trace.KHeapWrite, PID: "b#1", Thread: 2, Frame: ids["h.begin"], Res: "heap:b#1:o.f"})
+	ids["enq"] = tr.Append(trace.Record{Kind: trace.KEventEnq, PID: "b#1", Thread: 2, Frame: ids["h.begin"], Aux: "e"})
+	ids["e.begin"] = tr.Append(trace.Record{Kind: trace.KHandlerBegin, PID: "b#1", Thread: 3, Frame: ids["b.start"], Causor: ids["enq"], Aux: "event:e"})
+	ids["W2"] = tr.Append(trace.Record{Kind: trace.KHeapWrite, PID: "b#1", Thread: 3, Frame: ids["e.begin"], Res: "heap:b#1:o.g"})
+	ids["R"] = tr.Append(trace.Record{Kind: trace.KHeapRead, PID: "b#1", Thread: 2, Frame: ids["b.start"], Res: "heap:b#1:o.f", Src: ids["W"]})
+	return tr, ids
+}
+
+func TestForwardClosureFollowsCausalChains(t *testing.T) {
+	tr, ids := build()
+	g := hb.New(tr)
+	closure := g.ForwardClosure([]trace.OpID{ids["send"]})
+
+	for _, want := range []string{"h.begin", "W", "enq", "e.begin", "W2"} {
+		if !closure[ids[want]] {
+			t.Errorf("closure missing %s", want)
+		}
+	}
+	if closure[ids["R"]] {
+		t.Error("closure wrongly includes the main-thread read")
+	}
+	if closure[ids["a.start"]] {
+		t.Error("closure wrongly includes the sender's own activation")
+	}
+}
+
+func TestForwardClosureFromActivationSeed(t *testing.T) {
+	tr, ids := build()
+	g := hb.New(tr)
+	closure := g.ForwardClosure([]trace.OpID{ids["b.start"]})
+	// Everything under nodeB's main thread, including nested handler work.
+	for _, want := range []string{"W", "W2", "R", "enq"} {
+		if !closure[ids[want]] {
+			t.Errorf("activation closure missing %s", want)
+		}
+	}
+	if closure[ids["send"]] {
+		t.Error("activation closure must not include the remote sender's op")
+	}
+}
+
+func TestForwardClosureIsIdempotent(t *testing.T) {
+	tr, ids := build()
+	g := hb.New(tr)
+	c1 := g.ForwardClosure([]trace.OpID{ids["send"]})
+	var again []trace.OpID
+	for id := range c1 {
+		again = append(again, id)
+	}
+	c2 := g.ForwardClosure(again)
+	for id := range c1 {
+		if !c2[id] {
+			t.Fatalf("closure not idempotent: %d lost", id)
+		}
+	}
+}
+
+func TestForwardClosureMonotoneInSeeds(t *testing.T) {
+	tr, ids := build()
+	g := hb.New(tr)
+	f := func(pickSend, pickEnq bool) bool {
+		var seeds []trace.OpID
+		if pickSend {
+			seeds = append(seeds, ids["send"])
+		}
+		if pickEnq {
+			seeds = append(seeds, ids["enq"])
+		}
+		small := g.ForwardClosure(seeds)
+		big := g.ForwardClosure(append(seeds, ids["b.start"]))
+		for id := range small {
+			if !big[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackwardChain(t *testing.T) {
+	tr, ids := build()
+	g := hb.New(tr)
+	chain := g.BackwardChain(ids["W2"])
+	// W2 ← event handler ← enq ← msg handler ← send ← a's thread start.
+	want := []trace.OpID{ids["enq"], ids["send"]}
+	found := map[trace.OpID]bool{}
+	for _, id := range chain {
+		found[id] = true
+	}
+	for _, w := range want {
+		if !found[w] {
+			t.Errorf("backward chain missing op %d; chain=%v", w, chain)
+		}
+	}
+}
+
+func TestCrossNodeAncestor(t *testing.T) {
+	tr, ids := build()
+	g := hb.New(tr)
+	wp := g.CrossNodeAncestor(ids["W2"])
+	if wp == nil || wp.ID != ids["send"] {
+		t.Fatalf("CrossNodeAncestor(W2) = %v, want the remote send", wp)
+	}
+	if g.CrossNodeAncestor(ids["R"]) != nil {
+		t.Fatal("main-thread read has no cross-node ancestor")
+	}
+}
+
+func TestCrossNodeAncestorSkipsKVNotify(t *testing.T) {
+	tr := trace.New()
+	aStart := tr.Append(trace.Record{Kind: trace.KThreadStart, PID: "a#1", Thread: 1, Causor: trace.NoOp})
+	update := tr.Append(trace.Record{Kind: trace.KKVUpdate, PID: "a#1", Thread: 1, Frame: aStart, Res: "zk:/x", Aux: "set"})
+	notify := tr.Append(trace.Record{Kind: trace.KKVNotify, PID: "a#1", Thread: 1, Frame: aStart, Res: "zk:/x", Causor: update, Target: "b#1"})
+	bStart := tr.Append(trace.Record{Kind: trace.KThreadStart, PID: "b#1", Thread: 2, Causor: trace.NoOp})
+	hBegin := tr.Append(trace.Record{Kind: trace.KHandlerBegin, PID: "b#1", Thread: 2, Frame: bStart, Causor: notify})
+	w := tr.Append(trace.Record{Kind: trace.KHeapWrite, PID: "b#1", Thread: 2, Frame: hBegin, Res: "heap:b#1:o.f"})
+
+	g := hb.New(tr)
+	wp := g.CrossNodeAncestor(w)
+	if wp == nil || wp.ID != update {
+		t.Fatalf("ancestor = %v, want the KV update (not the notify)", wp)
+	}
+}
+
+func TestLogicallyFrom(t *testing.T) {
+	tr, ids := build()
+	g := hb.New(tr)
+	if !g.LogicallyFrom(ids["W"], "a#1") {
+		t.Error("W is logically from node a (via the message)")
+	}
+	if !g.LogicallyFrom(ids["W"], "b#1") {
+		t.Error("W physically executes on b")
+	}
+	if g.LogicallyFrom(ids["R"], "a#1") {
+		t.Error("R has nothing to do with node a")
+	}
+}
+
+func TestEscapingSeeds(t *testing.T) {
+	tr, ids := build()
+	g := hb.New(tr)
+	seeds := g.EscapingSeeds("a#1")
+	if len(seeds) != 1 || seeds[0] != ids["send"] {
+		t.Fatalf("EscapingSeeds(a) = %v, want just the send", seeds)
+	}
+	if got := g.EscapingSeeds("b#1"); len(got) != 0 {
+		// The enqueue is intra-node: it does not escape.
+		t.Fatalf("EscapingSeeds(b) = %v, want none", got)
+	}
+}

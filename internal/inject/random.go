@@ -1,0 +1,146 @@
+package inject
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"fcatch/internal/core"
+	"fcatch/internal/sim"
+)
+
+// RandomResult summarizes a random fault-injection campaign (Section 8.3):
+// many runs of the workload, each with a node crash at a uniformly random
+// execution point, counting how often any bug manifests.
+type RandomResult struct {
+	Workload    string
+	Runs        int
+	FailureRuns int
+	// Failures maps a failure signature (a coarse fingerprint of the
+	// symptom) to how many runs exposed it. Distinct signatures ≈ distinct
+	// bugs exposed.
+	Failures map[string]int
+}
+
+// UniqueFailures is the number of distinct failure signatures.
+func (r *RandomResult) UniqueFailures() int { return len(r.Failures) }
+
+// Signatures returns the failure signatures sorted by frequency (desc).
+func (r *RandomResult) Signatures() []string {
+	out := make([]string, 0, len(r.Failures))
+	for s := range r.Failures {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if r.Failures[out[i]] != r.Failures[out[j]] {
+			return r.Failures[out[i]] > r.Failures[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// RandomCampaign runs `runs` executions of the workload, each crashing the
+// workload's crash target at a random step (with operator restarts enabled,
+// as in production), and reports which failures surfaced. This is the state
+// of practice FCatch is compared against: bug-triggering windows are small,
+// so most injections land harmlessly.
+func RandomCampaign(w core.Workload, runs int, seed int64) (*RandomResult, error) {
+	// Measure the fault-free execution length once.
+	cfg := sim.Config{Seed: seed, Tracing: sim.TraceOff}
+	w.Tune(&cfg)
+	c := sim.NewCluster(cfg)
+	w.Configure(c)
+	base := c.Run()
+	if err := w.Check(c, base); err != nil {
+		return nil, fmt.Errorf("inject: fault-free run of %s incorrect: %w", w.Name(), err)
+	}
+
+	res := &RandomResult{Workload: w.Name(), Runs: runs, Failures: map[string]int{}}
+	rng := rand.New(rand.NewSource(seed * 7919))
+	for i := 0; i < runs; i++ {
+		step := 1 + rng.Int63n(base.Steps)
+		plan := sim.NewObservationPlan(w.CrashTarget(), step, w.RestartRoles())
+		rcfg := sim.Config{Seed: seed, Tracing: sim.TraceOff, Plan: plan}
+		w.Tune(&rcfg)
+		rc := sim.NewCluster(rcfg)
+		w.Configure(rc)
+		out := rc.Run()
+		checkErr := w.Check(rc, out)
+		if !out.Completed || len(out.FatalLogs) > 0 || len(out.UncaughtExceptions) > 0 || checkErr != nil {
+			sig := failureSignature(out, checkErr)
+			if !expectedSig(w, sig) {
+				res.FailureRuns++
+				res.Failures[sig]++
+			}
+		}
+	}
+	return res, nil
+}
+
+// failureSignature fingerprints a failed run coarsely enough that repeated
+// manifestations of one bug collapse to one signature, while different hang
+// shapes stay distinct. Fatal logs and exceptions identify a failure more
+// precisely than the hang they often also cause, so they take precedence.
+func failureSignature(out *sim.Outcome, checkErr error) string {
+	if len(out.FatalLogs) > 0 {
+		return "fatal:" + stripPID(out.FatalLogs[0])
+	}
+	if len(out.UncaughtExceptions) > 0 {
+		return "exception:" + stripPID(out.UncaughtExceptions[0])
+	}
+	if len(out.Hung) > 0 {
+		// Fingerprint by the first hung main thread (cascaded waiters vary
+		// run to run and would fragment one bug into many signatures).
+		first := out.Hung[0]
+		for _, h := range out.Hung {
+			if h.Name == "main" && (first.Name != "main" || h.Thread < first.Thread) {
+				first = h
+			}
+		}
+		where := first.Reason
+		if where == "" {
+			where = first.Site
+		}
+		return "hang:" + roleOnly(first.PID) + "/" + first.Name + "@" + stripPID(where)
+	}
+	if checkErr != nil {
+		return "check:" + checkErr.Error()
+	}
+	return "unknown"
+}
+
+func roleOnly(pid string) string {
+	if i := strings.IndexByte(pid, '#'); i >= 0 {
+		return pid[:i]
+	}
+	return pid
+}
+
+// stripPID removes "#N" incarnation suffixes so signatures are stable.
+func stripPID(s string) string {
+	var b strings.Builder
+	i := 0
+	for i < len(s) {
+		if s[i] == '#' {
+			i++
+			for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+				i++
+			}
+			continue
+		}
+		b.WriteByte(s[i])
+		i++
+	}
+	return b.String()
+}
+
+func expectedSig(w core.Workload, sig string) bool {
+	for _, pat := range w.ExpectedBehaviors() {
+		if pat != "" && strings.Contains(sig, pat) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,222 @@
+// Package inject implements FCatch's bug-triggering module (Section 5) and
+// the random fault-injection baseline it is compared against (Section 8.3).
+package inject
+
+import (
+	"fmt"
+	"strings"
+
+	"fcatch/internal/core"
+	"fcatch/internal/detect"
+	"fcatch/internal/sim"
+	"fcatch/internal/trace"
+)
+
+// Classification is the verdict triggering gives a report.
+type Classification int
+
+const (
+	// TrueBug: injecting the fault at the reported moment causes a real
+	// failure (hang, fatal error, job/system failure, data loss).
+	TrueBug Classification = iota
+	// Expected: the fault causes a visible but acceptable reaction — a
+	// well-handled exception or behaviour the system intends (the "Exp."
+	// false-positive column of Table 3).
+	Expected
+	// Benign: nothing observable goes wrong (the "False" column).
+	Benign
+)
+
+func (c Classification) String() string {
+	switch c {
+	case TrueBug:
+		return "true-bug"
+	case Expected:
+		return "expected"
+	}
+	return "benign"
+}
+
+// Outcome is the result of triggering one report.
+type Outcome struct {
+	Report *detect.Report
+	Class  Classification
+	// ByAction records, per fault type tried (node-crash, kernel-drop,
+	// app-drop), whether it produced a failure — the Section 8.4 matrix.
+	ByAction map[string]bool
+	// FailureKind/Detail describe the observed failure (if any).
+	FailureKind string
+	Detail      string
+}
+
+// Triggerer replays workloads with precisely aimed faults.
+type Triggerer struct {
+	W    core.Workload
+	Seed int64
+}
+
+// NewTriggerer builds a triggerer for one workload/seed (use the same seed
+// as the observation runs so occurrence counts line up).
+func NewTriggerer(w core.Workload, seed int64) *Triggerer {
+	return &Triggerer{W: w, Seed: seed}
+}
+
+// Trigger replays the workload with the report's fault injected and
+// classifies the report (Section 5). Crash-regular reports are tried with
+// all three fault types: a node crash right before W′, a kernel-level drop
+// of W′, and an application-level drop of W′. Crash-recovery reports get a
+// node crash right before or after W (depending on where W was observed),
+// with the crashed role restarted so recovery runs.
+func (tg *Triggerer) Trigger(rep *detect.Report) *Outcome {
+	out := &Outcome{Report: rep, Class: Benign, ByAction: map[string]bool{}}
+
+	type attempt struct {
+		action  sim.TriggerAction
+		point   sim.TriggerPoint
+		restart bool
+	}
+	var attempts []attempt
+	if rep.Type == detect.CrashRegular {
+		wp := rep.WPrime
+		if wp == nil {
+			return out
+		}
+		for _, act := range []sim.TriggerAction{sim.ActCrashSelf, sim.ActDropKernel, sim.ActDropApp} {
+			attempts = append(attempts, attempt{
+				action: act,
+				point: sim.TriggerPoint{
+					Site: wp.Site, Occurrence: wp.Occurrence, When: sim.Before, Action: act,
+				},
+				// The paper emulates the crash with Runtime.halt(-1): the
+				// victim stays down; the remaining nodes must cope.
+				restart: false,
+			})
+		}
+	} else {
+		when := sim.After
+		if rep.WInFaultyRun {
+			when = sim.Before
+		}
+		attempts = append(attempts, attempt{
+			action: sim.ActCrashSelf,
+			point: sim.TriggerPoint{
+				Site: rep.W.Site, Occurrence: rep.W.Occurrence, When: when,
+				Action: sim.ActCrashSelf, CrashTarget: rep.CrashTargetRole,
+			},
+			restart: true,
+		})
+	}
+
+	for _, at := range attempts {
+		plan := &sim.FaultPlan{CrashAtStep: -1, Triggers: []sim.TriggerPoint{at.point}}
+		if at.restart {
+			plan.RestartRoles = tg.W.RestartRoles()
+		}
+		cfg := sim.Config{Seed: tg.Seed, Tracing: sim.TraceSelective, Plan: plan, TraceTickCost: 1}
+		tg.W.Tune(&cfg)
+		c := sim.NewCluster(cfg)
+		tg.W.Configure(c)
+		runOut := c.Run()
+		cls, kind, detail := tg.classify(c, runOut, rep)
+		out.ByAction[at.action.String()] = cls == TrueBug
+		// The strongest verdict across fault types wins (TrueBug < Expected
+		// < Benign in severity order).
+		if cls < out.Class {
+			out.Class = cls
+			out.FailureKind = kind
+			out.Detail = detail
+		}
+	}
+	return out
+}
+
+// classify turns a trigger run's outcome into a verdict for one report.
+func (tg *Triggerer) classify(c *sim.Cluster, out *sim.Outcome, rep *detect.Report) (Classification, string, string) {
+	checkErr := tg.W.Check(c, out)
+	failed := !out.Completed || len(out.FatalLogs) > 0 || len(out.UncaughtExceptions) > 0 || checkErr != nil
+
+	if failed {
+		detail := tg.failureDetail(out, checkErr)
+		if tg.isExpected(detail) {
+			return Expected, "expected-" + failureKind(out, checkErr), detail
+		}
+		return TrueBug, failureKind(out, checkErr), detail
+	}
+
+	// The run completed correctly. If the fault provoked an exception that
+	// is data/control-dependent on the report's read — and the system
+	// handled it — this is the paper's "well-handled exception" category.
+	// The dependence requirement keeps unrelated recovery-path exceptions
+	// from contaminating other reports' verdicts.
+	if tr := c.Trace(); tr != nil {
+		rOps := map[trace.OpID]bool{}
+		for i := range tr.Records {
+			r := &tr.Records[i]
+			if r.Site != "" && r.Site == rep.R.Site {
+				rOps[r.ID] = true
+			}
+		}
+		for i := range tr.Records {
+			r := &tr.Records[i]
+			if r.Kind != trace.KThrow {
+				continue
+			}
+			for _, t := range r.Taint {
+				if rOps[t] {
+					return Expected, "handled-exception", r.Aux + "@" + r.Site
+				}
+			}
+			for _, t := range r.Ctl {
+				if rOps[t] {
+					return Expected, "handled-exception", r.Aux + "@" + r.Site
+				}
+			}
+		}
+	}
+	return Benign, "", ""
+}
+
+func failureKind(out *sim.Outcome, checkErr error) string {
+	switch {
+	case len(out.UncaughtExceptions) > 0:
+		return "exception"
+	case len(out.FatalLogs) > 0:
+		return "fatal"
+	case !out.Completed:
+		return "hang"
+	case checkErr != nil:
+		return "check"
+	}
+	return "ok"
+}
+
+func (tg *Triggerer) failureDetail(out *sim.Outcome, checkErr error) string {
+	var parts []string
+	for _, h := range out.Hung {
+		parts = append(parts, fmt.Sprintf("hang:%s/%s@%s(%s)", h.PID, h.Name, h.Site, h.Reason))
+	}
+	parts = append(parts, out.FatalLogs...)
+	parts = append(parts, out.UncaughtExceptions...)
+	if checkErr != nil {
+		parts = append(parts, "check:"+checkErr.Error())
+	}
+	return strings.Join(parts, "; ")
+}
+
+func (tg *Triggerer) isExpected(detail string) bool {
+	for _, pat := range tg.W.ExpectedBehaviors() {
+		if pat != "" && strings.Contains(detail, pat) {
+			return true
+		}
+	}
+	return false
+}
+
+// TriggerAll classifies every report and returns outcomes in report order.
+func (tg *Triggerer) TriggerAll(reports []*detect.Report) []*Outcome {
+	outs := make([]*Outcome, 0, len(reports))
+	for _, r := range reports {
+		outs = append(outs, tg.Trigger(r))
+	}
+	return outs
+}

@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"fcatch/internal/trace"
+)
+
+// TracingMode selects what the tracer records (Section 3.2 / Section 8.2).
+type TracingMode int
+
+const (
+	// TraceOff disables tracing entirely (the paper's uninstrumented baseline).
+	TraceOff TracingMode = iota
+	// TraceSelective records happens-before ops, storage ops, sync-loop reads,
+	// and heap accesses only inside RPC/message/event handlers and callees —
+	// FCatch's production setting.
+	TraceSelective
+	// TraceExhaustive additionally records every heap access anywhere — the
+	// Section 8.2 ablation that makes real systems keel over.
+	TraceExhaustive
+)
+
+// Config parameterizes a cluster run.
+type Config struct {
+	Seed     int64
+	Tracing  TracingMode
+	MaxSteps int64 // step budget; exceeding it marks the run hung
+
+	// TraceTickCost is added to the logical clock per traced record,
+	// modelling instrumentation slowdown inside simulated time. It is what
+	// lets the exhaustive-tracing ablation perturb gossip timing (§8.2).
+	TraceTickCost int64
+
+	// RPCClientTimeout, when >0, gives every RPC client wait a timeout of
+	// that many ticks (the wait is then recorded as a timed wait and calls
+	// return ErrRPCTimeout on expiry). Hadoop-MR's RPC client famously has
+	// none, which is bug MR3.
+	RPCClientTimeout int64
+
+	// RPCFailFast makes in-flight calls fail immediately when the callee
+	// crashes (TCP reset analog). MR's ancient IPC layer does not do this.
+	RPCFailFast bool
+
+	// Plan is the fault plan for this run (nil = fault-free).
+	Plan *FaultPlan
+}
+
+// DefaultMaxSteps bounds runs that hang.
+const DefaultMaxSteps = 400_000
+
+// Cluster is one simulated distributed system instance. All mutation happens
+// under the scheduler baton, so no internal locking is needed.
+type Cluster struct {
+	cfg Config
+	rng *rand.Rand
+
+	clock   int64
+	nextTID int
+	nextSeq int64 // deterministic id source for messages/calls/events
+
+	nodes     map[string]*Node // PID -> process
+	pidOrder  []string
+	services  map[string]string // role -> live PID
+	incarn    map[string]int    // role -> next incarnation number
+	threads   []*Thread
+	timers    timerHeap
+	yielded   chan *Thread
+	running   bool
+	curThread *Thread
+
+	tracer      *tracer
+	out         Outcome
+	facts       map[string]any
+	bootFns     map[string]func(*Context) // role -> main function (for restarts)
+	bootMachine map[string]string         // role -> machine
+
+	crashHooks     []func(pid string)
+	convictSubs    map[string][]string // watched role -> subscriber PIDs (verb "convict")
+	recoveryLabels map[string]bool     // handler labels registered as recovery roots
+	pendingPlan    *FaultPlan
+	siteCounts     map[string]int // occurrences per site, for trigger points
+	startWall      time.Time
+}
+
+// NewCluster creates an empty cluster.
+func NewCluster(cfg Config) *Cluster {
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = DefaultMaxSteps
+	}
+	c := &Cluster{
+		cfg:            cfg,
+		rng:            rand.New(rand.NewSource(cfg.Seed)),
+		nodes:          make(map[string]*Node),
+		services:       make(map[string]string),
+		incarn:         make(map[string]int),
+		yielded:        make(chan *Thread),
+		facts:          make(map[string]any),
+		bootFns:        make(map[string]func(*Context)),
+		bootMachine:    make(map[string]string),
+		convictSubs:    make(map[string][]string),
+		recoveryLabels: make(map[string]bool),
+		siteCounts:     make(map[string]int),
+		pendingPlan:    cfg.Plan,
+	}
+	c.tracer = newTracer(c)
+	return c
+}
+
+// Config returns the cluster's configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Clock returns the current logical time.
+func (c *Cluster) Clock() int64 { return c.clock }
+
+// Trace returns the trace recorded so far (nil when tracing is off).
+func (c *Cluster) Trace() *trace.Trace { return c.tracer.trace }
+
+// SetFact publishes an app-level fact (e.g. a job result) that workload
+// checkers inspect after the run.
+func (c *Cluster) SetFact(key string, v any) { c.facts[key] = v }
+
+// Fact retrieves a published fact (nil if absent).
+func (c *Cluster) Fact(key string) any { return c.facts[key] }
+
+// FactStr retrieves a fact as a string.
+func (c *Cluster) FactStr(key string) string {
+	if s, ok := c.facts[key].(string); ok {
+		return s
+	}
+	return ""
+}
+
+// OnProcessCrash registers a hook invoked (under the baton) whenever a
+// process crashes. The KV store uses it to expire ephemeral znodes.
+func (c *Cluster) OnProcessCrash(fn func(pid string)) {
+	c.crashHooks = append(c.crashHooks, fn)
+}
+
+// SubscribeConvict makes subscriber receive a "convict" message (carrying the
+// dead PID) whenever a process of the watched role crashes — the stand-in for
+// Cassandra's IFailureDetectionEventListener::convict.
+func (c *Cluster) SubscribeConvict(watchedRole, subscriberPID string) {
+	c.convictSubs[watchedRole] = append(c.convictSubs[watchedRole], subscriberPID)
+}
+
+// MarkRecoveryHandler registers a handler label (e.g. "event:rs-deleted" or
+// "msg:convict") as a developer-specified recovery interface (Section 4.3.1:
+// "If developers specify recovery-handler interfaces or functions, FCatch
+// can identify more recovery operations"). Every invocation of the handler
+// is flagged as a recovery root in traces.
+func (c *Cluster) MarkRecoveryHandler(label string) {
+	c.recoveryLabels[label] = true
+}
+
+// Node returns the process with the given PID (nil if unknown).
+func (c *Cluster) Node(pid string) *Node { return c.nodes[pid] }
+
+// PIDs returns all process IDs in start order.
+func (c *Cluster) PIDs() []string { return append([]string(nil), c.pidOrder...) }
+
+// Lookup resolves a role to its current live process PID ("" if none).
+func (c *Cluster) Lookup(role string) string { return c.services[role] }
+
+// StartProcess boots a new process of the given role on a machine, running
+// main as its root thread. It returns the PID ("role#N"). The boot function
+// is remembered so fault plans can restart the role.
+func (c *Cluster) StartProcess(role, machine string, main func(*Context)) string {
+	c.bootFns[role] = main
+	c.bootMachine[role] = machine
+	return c.startIncarnation(role, machine, main, trace.NoOp)
+}
+
+func (c *Cluster) startIncarnation(role, machine string, main func(*Context), causor trace.OpID) string {
+	c.incarn[role]++
+	pid := fmt.Sprintf("%s#%d", role, c.incarn[role])
+	n := newNode(c, pid, role, machine)
+	c.nodes[pid] = n
+	c.pidOrder = append(c.pidOrder, pid)
+	c.services[role] = pid
+	n.startSystemThreads()
+	c.spawnThread(n, "main", main, causor, false, false)
+	return pid
+}
+
+// RestartRole relaunches a crashed role as a fresh process (the recovery node
+// of Section 4.3.1). Used by fault plans and by app-level supervisors.
+func (c *Cluster) RestartRole(role string, causor trace.OpID) string {
+	main, ok := c.bootFns[role]
+	if !ok {
+		panic(fmt.Sprintf("sim: restart of unknown role %q", role))
+	}
+	pid := c.startIncarnation(role, c.bootMachine[role], main, causor)
+	c.tracer.emitSystem(trace.Record{Kind: trace.KRestart, Aux: pid})
+	return pid
+}
+
+// Outcome summarizes a finished run.
+type Outcome struct {
+	Completed     bool // every non-daemon thread finished
+	StepBudgetHit bool
+	Steps         int64
+	Elapsed       time.Duration
+
+	Hung               []HangSite
+	Crashed            []string // PIDs crashed (injected or cascading)
+	FatalLogs          []string
+	ErrorLogs          []string
+	UncaughtExceptions []string
+	HandledExceptions  []string
+	CheckErr           error // filled by the workload checker, if any
+}
+
+// HangSite describes one thread that was still alive when the run ended.
+type HangSite struct {
+	PID    string
+	Thread int
+	Name   string
+	Site   string // where it blocked (or last yielded)
+	Reason string
+}
+
+// Failed reports whether the run ended badly (hang, fatal, uncaught
+// exception, or checker failure).
+func (o *Outcome) Failed() bool {
+	return !o.Completed || len(o.FatalLogs) > 0 || len(o.UncaughtExceptions) > 0 || o.CheckErr != nil
+}
+
+// FailureKind returns a coarse label for report classification.
+func (o *Outcome) FailureKind() string {
+	switch {
+	case len(o.UncaughtExceptions) > 0:
+		return "exception"
+	case len(o.FatalLogs) > 0:
+		return "fatal"
+	case !o.Completed && o.StepBudgetHit:
+		return "hang"
+	case !o.Completed:
+		return "hang"
+	case o.CheckErr != nil:
+		return "check"
+	}
+	return "ok"
+}
+
+// sortedRunnable returns runnable threads ordered by id (determinism).
+func (c *Cluster) sortedRunnable() []*Thread {
+	var out []*Thread
+	for _, t := range c.threads {
+		if t.state == tsRunnable {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}

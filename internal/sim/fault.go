@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors surfaced to application code by communication ops.
+var (
+	// ErrSocket is the SocketException analog: the connection broke (peer
+	// crashed, or a kernel-level message drop was injected).
+	ErrSocket = errors.New("socket: connection broken")
+	// ErrNoRoute means the destination role has no live process.
+	ErrNoRoute = errors.New("no route to role")
+	// ErrRPCTimeout means the client-side RPC timeout expired.
+	ErrRPCTimeout = errors.New("rpc: client timeout")
+)
+
+// TriggerWhen says on which side of the matched operation the fault fires.
+type TriggerWhen int
+
+const (
+	// Before fires the fault right before the op's effect (Section 5:
+	// "crashing the node of W right before W").
+	Before TriggerWhen = iota
+	// After fires right after the op's effect ("right after W").
+	After
+)
+
+// TriggerAction is the fault kind injected at a trigger point.
+type TriggerAction int
+
+const (
+	// ActCrashSelf crashes the process that is executing the matched op.
+	ActCrashSelf TriggerAction = iota
+	// ActDropKernel drops the matched send and raises ErrSocket at the
+	// sender (kernel-level message drop).
+	ActDropKernel
+	// ActDropApp silently skips the matched send (application-level drop;
+	// legal only for droppable verbs, Cassandra-style).
+	ActDropApp
+)
+
+func (a TriggerAction) String() string {
+	switch a {
+	case ActCrashSelf:
+		return "node-crash"
+	case ActDropKernel:
+		return "kernel-drop"
+	case ActDropApp:
+		return "app-drop"
+	}
+	return fmt.Sprintf("action(%d)", int(a))
+}
+
+// TriggerPoint injects a fault when an operation at Site reaches its N-th
+// occurrence. Sites are the file:line static IDs recorded in traces, so a
+// point built from a bug report replays against the exact reported op.
+type TriggerPoint struct {
+	Site       string
+	Occurrence int // 1-based; 0 means first occurrence
+	When       TriggerWhen
+	Action     TriggerAction
+	// CrashTarget, for ActCrashSelf, names the role or PID to crash instead
+	// of the process executing the matched op. Crash-recovery triggering
+	// needs this: W may physically execute on a remote node (an RPC handler
+	// invoked by the crash node) while the fault must hit the crash node.
+	CrashTarget string
+	fired       bool
+}
+
+// FaultPlan describes every fault injected into one run.
+type FaultPlan struct {
+	// CrashAtStep crashes CrashPID when the logical clock reaches the step
+	// (-1 / zero-value disables). Used by observation runs ("take a snapshot
+	// at a random point, resume, crash immediately") and by the random
+	// fault-injection baseline.
+	CrashAtStep int64
+	CrashPID    string // PID or role name
+	crashDone   bool
+
+	// Triggers are the precise before/after-op faults used by the bug
+	// triggering module.
+	Triggers []TriggerPoint
+
+	// RestartRoles maps a role to the delay (ticks) after which a crashed
+	// process of that role is restarted — the operator/recovery behaviour.
+	RestartRoles map[string]int64
+}
+
+// NewFaultFreePlan returns a plan that injects nothing but still knows how
+// to restart roles (needed so trigger runs can exercise recovery).
+func NewFaultFreePlan() *FaultPlan {
+	return &FaultPlan{CrashAtStep: -1, RestartRoles: map[string]int64{}}
+}
+
+// NewObservationPlan crashes `target` (PID or role) at the given step and
+// restarts the listed roles after restartDelay.
+func NewObservationPlan(target string, step int64, restartRoles map[string]int64) *FaultPlan {
+	return &FaultPlan{CrashAtStep: step, CrashPID: target, RestartRoles: restartRoles}
+}
+
+// checkTrigger is called by the op layer around every operation's effect.
+// It returns the action to apply to the op itself for drop actions; crash
+// actions are applied here directly.
+func (c *Cluster) checkTrigger(site string, when TriggerWhen, isSend bool) (drop TriggerAction, dropped bool) {
+	p := c.pendingPlan
+	if p == nil || len(p.Triggers) == 0 || site == "" {
+		return 0, false
+	}
+	// Occurrence accounting happens once per op, on the Before edge.
+	var count int
+	if when == Before {
+		c.siteCounts[site]++
+	}
+	count = c.siteCounts[site]
+	for i := range p.Triggers {
+		tp := &p.Triggers[i]
+		if tp.fired || tp.Site != site || tp.When != when {
+			continue
+		}
+		occ := tp.Occurrence
+		if occ == 0 {
+			occ = 1
+		}
+		if count != occ {
+			continue
+		}
+		tp.fired = true
+		switch tp.Action {
+		case ActCrashSelf:
+			cur := c.curThread
+			pid := cur.node.PID
+			if tp.CrashTarget != "" {
+				pid = c.resolve(tp.CrashTarget)
+			}
+			if pid != "" {
+				c.crashProcess(pid, site)
+			}
+			if cur.node.crashed {
+				// The fault hit the process executing this op: unwind now.
+				panic(killedPanic{})
+			}
+		case ActDropKernel, ActDropApp:
+			if isSend {
+				return tp.Action, true
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,292 @@
+package sim
+
+import (
+	"fmt"
+
+	"fcatch/internal/trace"
+)
+
+// Node is one process of the simulated system. The paper uses node and
+// process interchangeably (Section 2, Terminology); so do we. A restarted
+// role is a *new* Node with a fresh PID on the same machine.
+type Node struct {
+	c       *Cluster
+	PID     string
+	Role    string
+	Machine string
+
+	crashed bool
+	threads []*Thread
+
+	nextObj int64
+	objects map[int64]*Object
+
+	rpcHandlers   map[string]func(*Context, []Value) Value
+	msgHandlers   map[string]func(*Context, Message)
+	eventHandlers map[string]func(*Context, Value)
+
+	msgQ         *dispatchQueue
+	eventQ       *dispatchQueue
+	replyQ       *dispatchQueue
+	pendingCalls map[int64]*callState
+
+	// stashes hold items whose handler is not registered yet: processes
+	// register handlers at the top of their main function, and anything
+	// arriving earlier waits, like packets on a not-yet-accepted socket.
+	msgStash   map[string][]queuedItem
+	eventStash map[string][]queuedItem
+	rpcStash   map[string][]pendingRPC
+
+	namedObjs  map[string]*Object
+	namedConds map[string]*Cond
+}
+
+// pendingRPC is a call that arrived before its handler was registered.
+type pendingRPC struct {
+	method    string
+	args      []Value
+	callOp    trace.OpID
+	callerPID string
+	callID    int64
+}
+
+func newNode(c *Cluster, pid, role, machine string) *Node {
+	return &Node{
+		c: c, PID: pid, Role: role, Machine: machine,
+		objects:       make(map[int64]*Object),
+		rpcHandlers:   make(map[string]func(*Context, []Value) Value),
+		msgHandlers:   make(map[string]func(*Context, Message)),
+		eventHandlers: make(map[string]func(*Context, Value)),
+		msgQ:          &dispatchQueue{},
+		eventQ:        &dispatchQueue{},
+		replyQ:        &dispatchQueue{},
+		pendingCalls:  make(map[int64]*callState),
+		msgStash:      make(map[string][]queuedItem),
+		eventStash:    make(map[string][]queuedItem),
+		rpcStash:      make(map[string][]pendingRPC),
+		namedObjs:     make(map[string]*Object),
+		namedConds:    make(map[string]*Cond),
+	}
+}
+
+// Crashed reports whether the process has crashed.
+func (n *Node) Crashed() bool { return n.crashed }
+
+// HandleRPC registers an RPC method handler. Each incoming call runs in its
+// own handler thread whose operations causally come from the caller node.
+// Calls that arrived before registration are dispatched now.
+func (n *Node) HandleRPC(method string, fn func(*Context, []Value) Value) {
+	n.rpcHandlers[method] = fn
+	pend := n.rpcStash[method]
+	delete(n.rpcStash, method)
+	for _, p := range pend {
+		n.spawnRPCHandler(p)
+	}
+}
+
+// HandleMsg registers an asynchronous message handler; messages to this node
+// are dispatched serially by its message-dispatcher thread. Messages that
+// arrived before registration are re-queued now.
+func (n *Node) HandleMsg(verb string, fn func(*Context, Message)) {
+	n.msgHandlers[verb] = fn
+	for _, it := range n.msgStash[verb] {
+		n.msgQ.push(it)
+	}
+	delete(n.msgStash, verb)
+}
+
+// HandleEvent registers an intra-node event handler; events are dispatched
+// serially by the node's event-dispatcher thread (the ZKWatcherThread
+// pattern of Figure 6). Events that arrived before registration are
+// re-queued now.
+func (n *Node) HandleEvent(typ string, fn func(*Context, Value)) {
+	n.eventHandlers[typ] = fn
+	for _, it := range n.eventStash[typ] {
+		n.eventQ.push(it)
+	}
+	delete(n.eventStash, typ)
+}
+
+// Message is an asynchronous message delivered to a HandleMsg handler.
+type Message struct {
+	From    string
+	Verb    string
+	Payload Value
+}
+
+// queuedItem is one unit of dispatcher work.
+type queuedItem struct {
+	verb    string
+	payload Value
+	from    string
+	causor  trace.OpID
+	flags   uint32
+	callID  int64 // for rpc replies
+	err     error // for rpc replies
+}
+
+// dispatchQueue is a FIFO consumed by one daemon thread. All access happens
+// under the scheduler baton.
+type dispatchQueue struct {
+	items  []queuedItem
+	waiter *Thread
+}
+
+func (q *dispatchQueue) push(it queuedItem) {
+	q.items = append(q.items, it)
+	if q.waiter != nil {
+		w := q.waiter
+		q.waiter = nil
+		w.wake(resumeMsg{})
+	}
+}
+
+// pop blocks the calling dispatcher thread until an item is available.
+func (q *dispatchQueue) pop(ctx *Context) queuedItem {
+	for len(q.items) == 0 {
+		q.waiter = ctx.t
+		ctx.t.block(ctx.c, "dispatch-idle", "")
+	}
+	it := q.items[0]
+	q.items = q.items[1:]
+	return it
+}
+
+// startSystemThreads launches the node's dispatcher daemons.
+func (n *Node) startSystemThreads() {
+	n.c.spawnThread(n, "msg-dispatcher", func(ctx *Context) {
+		for {
+			it := n.msgQ.pop(ctx)
+			h, ok := n.msgHandlers[it.verb]
+			if !ok {
+				n.msgStash[it.verb] = append(n.msgStash[it.verb], it)
+				continue
+			}
+			ctx.runHandlerFrame("msg:"+it.verb, it.causor, it.flags, func() {
+				h(ctx, Message{From: it.from, Verb: it.verb, Payload: it.payload})
+			})
+		}
+	}, trace.NoOp, true, false)
+
+	n.c.spawnThread(n, "event-dispatcher", func(ctx *Context) {
+		for {
+			it := n.eventQ.pop(ctx)
+			h, ok := n.eventHandlers[it.verb]
+			if !ok {
+				n.eventStash[it.verb] = append(n.eventStash[it.verb], it)
+				continue
+			}
+			ctx.runHandlerFrame("event:"+it.verb, it.causor, it.flags, func() {
+				h(ctx, it.payload)
+			})
+		}
+	}, trace.NoOp, true, false)
+
+	n.c.spawnThread(n, "ipc-responder", func(ctx *Context) {
+		for {
+			it := n.replyQ.pop(ctx)
+			cs, ok := n.pendingCalls[it.callID]
+			if !ok {
+				continue // caller gone (killed) or already failed
+			}
+			delete(n.pendingCalls, it.callID)
+			ctx.runHandlerFrame("rpc-response", it.causor, 0, func() {
+				// The signal that unblocks the RPC client wait. Its
+				// disappearance (reply dropped, callee crashed pre-reply)
+				// is exactly the crash-regular hazard of bug MR3.
+				cs.done.signalInternal(ctx, it.payload, it.err, SiteRPCReplySig)
+			})
+		}
+	}, trace.NoOp, true, false)
+}
+
+// PostEvent enqueues an event on this node's event queue from an arbitrary
+// context (used by storage watch notification). causor is the op the handler
+// should causally depend on.
+func (n *Node) PostEvent(typ string, payload Value, causor trace.OpID, flags uint32) {
+	if n.crashed {
+		return
+	}
+	n.eventQ.push(queuedItem{verb: typ, payload: payload, causor: causor, flags: flags})
+}
+
+// crash marks the process dead: its threads are killed, its heap disappears,
+// pending calls to it fail (if the cluster is fail-fast), convict
+// subscribers are notified, and restart policies fire. Local files survive —
+// they belong to the machine, not the process.
+func (c *Cluster) crashProcess(pid string, selfSite string) {
+	n := c.nodes[pid]
+	if n == nil || n.crashed {
+		return
+	}
+	n.crashed = true
+	c.out.Crashed = append(c.out.Crashed, pid)
+	if c.services[n.Role] == pid {
+		delete(c.services, n.Role)
+	}
+	c.tracer.emitSystem(trace.Record{Kind: trace.KCrash, Aux: pid, Site: selfSite})
+	if c.tracer.trace != nil && c.tracer.trace.CrashedPID == "" {
+		c.tracer.trace.CrashedPID = pid
+		c.tracer.trace.CrashStep = c.clock
+	}
+
+	for _, t := range n.threads {
+		if t.alive() {
+			t.killPending = true
+		}
+	}
+
+	// Fail or strand in-flight calls *to* this process.
+	if c.cfg.RPCFailFast {
+		for _, peer := range c.pidOrder {
+			pn := c.nodes[peer]
+			for id, cs := range pn.pendingCalls {
+				if cs.callee == pid {
+					delete(pn.pendingCalls, id)
+					cs.done.failInternal(ErrSocket)
+				}
+			}
+		}
+	}
+
+	for _, hook := range c.crashHooks {
+		hook(pid)
+	}
+
+	// Convict notifications (Cassandra's failure-detector listener).
+	for _, sub := range c.convictSubs[n.Role] {
+		if sn := c.nodes[sub]; sn != nil && !sn.crashed {
+			sn.msgQ.push(queuedItem{
+				verb:    "convict",
+				from:    "failure-detector",
+				payload: V(pid),
+				causor:  trace.NoOp,
+				flags:   trace.FlagRecoveryRoot,
+			})
+		}
+	}
+
+	// Plan-driven restart of the role (operator behaviour).
+	if c.pendingPlan != nil {
+		if delay, ok := c.pendingPlan.RestartRoles[n.Role]; ok {
+			role := n.Role
+			c.addTimer(c.clock+delay, nil, func() {
+				if c.services[role] == "" {
+					c.RestartRole(role, trace.NoOp)
+				}
+			})
+		}
+	}
+}
+
+// CrashNow crashes the process executing ctx (used by app-level supervisors
+// that shoot misbehaving workers, e.g. the RM killing task containers).
+func (ctx *Context) CrashNow(pid string) {
+	ctx.c.crashProcess(pid, "")
+	if ctx.t.node.crashed {
+		panic(killedPanic{})
+	}
+}
+
+// errString formats app errors.
+func errString(op, detail string) error { return fmt.Errorf("%s: %s", op, detail) }

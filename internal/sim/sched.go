@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// timer is a scheduled wakeup: either a thread wake (possibly a timed-wait
+// expiry) or a scheduler-context callback (e.g. a planned role restart).
+type timer struct {
+	at    int64
+	seq   int64
+	t     *Thread
+	token int64 // thread's blockToken at arm time; stale timers are ignored
+	timed bool  // wake with timedOut=true (timed wait expiry)
+	fn    func()
+}
+
+type timerHeap []timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x any)   { *h = append(*h, x.(timer)) }
+func (h *timerHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+func (c *Cluster) addTimer(at int64, t *Thread, fn func()) {
+	c.nextSeq++
+	tm := timer{at: at, seq: c.nextSeq, t: t, fn: fn}
+	if t != nil {
+		tm.token = t.blockToken
+	}
+	heap.Push(&c.timers, tm)
+}
+
+func (c *Cluster) addTimedWaitTimer(at int64, t *Thread) {
+	c.nextSeq++
+	heap.Push(&c.timers, timer{at: at, seq: c.nextSeq, t: t, token: t.blockToken, timed: true})
+}
+
+// fireDue fires every timer due at or before the current clock. Returns
+// whether any fired.
+func (c *Cluster) fireDue() bool {
+	fired := false
+	for len(c.timers) > 0 && c.timers[0].at <= c.clock {
+		tm := heap.Pop(&c.timers).(timer)
+		fired = true
+		switch {
+		case tm.fn != nil:
+			tm.fn()
+		case tm.t != nil:
+			if tm.t.state == tsBlocked && tm.t.blockToken == tm.token {
+				tm.t.wake(resumeMsg{timedOut: tm.timed})
+			}
+		}
+	}
+	return fired
+}
+
+// advanceToNextTimer jumps the clock forward to the next timer when the
+// system is otherwise idle. Returns false when no timers remain.
+func (c *Cluster) advanceToNextTimer() bool {
+	if len(c.timers) == 0 {
+		return false
+	}
+	if c.timers[0].at > c.clock {
+		c.clock = c.timers[0].at
+	}
+	return c.fireDue()
+}
+
+// processKills reaps threads whose process crashed: each is resumed once
+// with a kill order so its goroutine unwinds.
+func (c *Cluster) processKills() {
+	for {
+		var victim *Thread
+		for _, t := range c.threads {
+			if t.killPending && t.alive() {
+				victim = t
+				break
+			}
+		}
+		if victim == nil {
+			return
+		}
+		victim.killPending = false
+		victim.state = tsRunning
+		victim.resume <- resumeMsg{kill: true}
+		<-c.yielded
+	}
+}
+
+// applyPlanAtStep injects the observation crash when its step arrives.
+func (c *Cluster) applyPlanAtStep() {
+	p := c.pendingPlan
+	if p == nil || p.crashDone || p.CrashAtStep < 0 || c.clock < p.CrashAtStep {
+		return
+	}
+	p.crashDone = true
+	pid := p.CrashPID
+	if n := c.nodes[pid]; n == nil {
+		// Treat as a role name: crash its current incarnation.
+		pid = c.services[p.CrashPID]
+	}
+	if pid != "" {
+		c.crashProcess(pid, "plan")
+	}
+}
+
+// workloadDone reports whether every non-daemon thread has finished and no
+// scheduled callback (e.g. a planned role restart) is still pending — a
+// restart will spawn fresh non-daemon work.
+func (c *Cluster) workloadDone() bool {
+	for _, t := range c.threads {
+		if !t.daemon && t.alive() {
+			return false
+		}
+	}
+	for _, tm := range c.timers {
+		if tm.fn != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes the cluster to completion: until the workload finishes, the
+// system deadlocks, or the step budget is exhausted. It returns the outcome;
+// the trace (if tracing was enabled) is available via Trace().
+func (c *Cluster) Run() *Outcome {
+	if c.running {
+		panic("sim: cluster already ran")
+	}
+	c.running = true
+	c.startWall = time.Now()
+	heap.Init(&c.timers)
+
+	for {
+		c.applyPlanAtStep()
+		c.processKills()
+		if c.workloadDone() {
+			c.out.Completed = true
+			break
+		}
+		runnable := c.sortedRunnable()
+		if len(runnable) == 0 {
+			if c.advanceToNextTimer() {
+				continue
+			}
+			break // deadlock: blocked non-daemon threads remain
+		}
+		if c.clock >= c.cfg.MaxSteps {
+			c.out.StepBudgetHit = true
+			break
+		}
+		t := runnable[c.rng.Intn(len(runnable))]
+		c.clock++
+		c.curThread = t
+		t.state = tsRunning
+		msg := t.pendingWake
+		t.pendingWake = resumeMsg{}
+		t.resume <- msg
+		<-c.yielded
+		c.curThread = nil
+		c.fireDue()
+	}
+
+	// Record hang sites before tearing threads down.
+	for _, t := range c.threads {
+		if !t.daemon && t.alive() {
+			reason := t.blockReason
+			if t.state == tsRunnable {
+				reason = "live (budget exhausted)"
+			}
+			if t.loopName != "" {
+				reason = "loop:" + t.loopName
+			}
+			c.out.Hung = append(c.out.Hung, HangSite{
+				PID: t.node.PID, Thread: t.id, Name: t.name,
+				Site: t.blockSite, Reason: reason,
+			})
+		}
+	}
+
+	// Unwind every remaining goroutine so nothing leaks.
+	for _, t := range c.threads {
+		if t.alive() {
+			t.state = tsRunning
+			t.resume <- resumeMsg{kill: true}
+			<-c.yielded
+		}
+	}
+
+	c.out.Steps = c.clock
+	c.out.Elapsed = time.Since(c.startWall)
+	if c.tracer.trace != nil {
+		c.tracer.trace.BaselineNanos = c.out.Elapsed.Nanoseconds()
+	}
+	return &c.out
+}

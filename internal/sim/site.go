@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+)
+
+// callsite walks up the Go call stack to the first frame outside the
+// simulator and storage substrates and renders it as "file.go:line" — the
+// static operation ID the paper gets from bytecode positions. Sites are
+// stable across runs (they are source positions), which is what lets the
+// triggering module aim a fault at a reported operation.
+func callsite() string {
+	var pcs [24]uintptr
+	n := runtime.Callers(3, pcs[:])
+	frames := runtime.CallersFrames(pcs[:n])
+	for {
+		fr, more := frames.Next()
+		if fr.File == "" {
+			break
+		}
+		if !strings.Contains(fr.File, "/internal/sim/") &&
+			!strings.Contains(fr.File, "/internal/storage/") {
+			return fmt.Sprintf("%s:%d", trimPath(fr.File), fr.Line)
+		}
+		if !more {
+			break
+		}
+	}
+	return "unknown"
+}
+
+// trimPath keeps the last three path segments, enough to be unique and
+// readable ("internal/apps/hbase/master.go").
+func trimPath(p string) string {
+	parts := strings.Split(p, "/")
+	if len(parts) <= 3 {
+		return p
+	}
+	return strings.Join(parts[len(parts)-3:], "/")
+}

@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"fmt"
+
+	"fcatch/internal/trace"
+)
+
+type threadState int
+
+const (
+	tsRunnable threadState = iota
+	tsRunning
+	tsBlocked
+	tsDone
+	tsKilled
+)
+
+// resumeMsg is what the scheduler hands a parked thread.
+type resumeMsg struct {
+	kill     bool
+	timedOut bool  // a timed wait expired
+	err      error // delivered error (e.g. RPC failure)
+	val      Value // delivered value (e.g. RPC reply)
+}
+
+// killedPanic unwinds a thread whose process crashed (or whose run ended).
+type killedPanic struct{}
+
+// appPanic carries an uncaught application exception up the thread stack.
+type appPanic struct {
+	kind  string
+	site  string
+	taint []trace.OpID
+}
+
+func (a appPanic) String() string { return fmt.Sprintf("%s@%s", a.kind, a.site) }
+
+// ctlFrame is one scope's control-dependence contribution.
+type ctlFrame struct {
+	label string
+	ctl   []trace.OpID
+	loop  *loopState // non-nil when the scope is a sync-loop body
+}
+
+// Thread is one cooperative thread of a simulated process.
+type Thread struct {
+	id   int
+	node *Node
+	name string
+
+	daemon     bool
+	handlerCtx bool // inside an RPC/message/event handler (or its callees)
+
+	state       threadState
+	resume      chan resumeMsg
+	blockSite   string
+	blockReason string
+	blockToken  int64 // invalidates stale timed-wait timers
+	killPending bool  // process crashed; scheduler will reap this thread
+
+	// frame is the activation record (thread-start or handler-begin) ops
+	// currently execute under; frameStack supports nested handler frames on
+	// dispatcher threads.
+	frame      trace.OpID
+	frameStack []trace.OpID
+
+	scopes []ctlFrame
+	// ctlHist accumulates every control taint observed during the current
+	// activation, surviving scope pops. RPC replies carry it, modelling the
+	// static fact that branches inside a handler control its return value.
+	ctlHist []trace.OpID
+
+	// loopName is the active SyncLoop's name; hang reports use it so a
+	// thread spinning in a polling loop is identifiable.
+	loopName string
+
+	// delivered holds the resumeMsg observed on the last wakeup (set by
+	// pause, on the thread's own goroutine).
+	delivered resumeMsg
+	// pendingWake is the payload the scheduler hands over on next resume.
+	pendingWake resumeMsg
+}
+
+// spawnThread creates a thread on node n and makes it runnable. causor is the
+// op that created it (NoOp for process roots).
+func (c *Cluster) spawnThread(n *Node, name string, fn func(*Context), causor trace.OpID, daemon, handlerCtx bool) *Thread {
+	c.nextTID++
+	t := &Thread{
+		id:         c.nextTID,
+		node:       n,
+		name:       name,
+		daemon:     daemon,
+		handlerCtx: handlerCtx,
+		state:      tsRunnable,
+		resume:     make(chan resumeMsg),
+		frame:      trace.NoOp,
+	}
+	c.threads = append(c.threads, t)
+	n.threads = append(n.threads, t)
+
+	start := c.tracer.emit(t, trace.Record{
+		Kind:   trace.KThreadStart,
+		Aux:    name,
+		Causor: causor,
+	})
+	t.frame = start
+
+	go func() {
+		msg := <-t.resume // wait for first schedule
+		if msg.kill {
+			t.finish(c, tsKilled)
+			return
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				switch p := r.(type) {
+				case killedPanic:
+					t.finish(c, tsKilled)
+				case appPanic:
+					c.out.UncaughtExceptions = append(c.out.UncaughtExceptions,
+						fmt.Sprintf("%s in %s/%s", p.String(), t.node.PID, t.name))
+					t.finish(c, tsDone)
+				default:
+					panic(r) // programming error in sim or app: surface it
+				}
+				return
+			}
+			t.finish(c, tsDone)
+		}()
+		ctx := &Context{c: c, t: t}
+		fn(ctx)
+	}()
+	return t
+}
+
+// finish emits the exit record and returns the baton to the scheduler.
+func (t *Thread) finish(c *Cluster, st threadState) {
+	t.state = st
+	if st == tsDone {
+		c.tracer.emit(t, trace.Record{Kind: trace.KThreadExit})
+	}
+	c.yielded <- t
+}
+
+// pause parks the thread and hands the baton back to the scheduler. The
+// scheduler later resumes it with a resumeMsg; a kill message unwinds the
+// thread via panic.
+func (t *Thread) pause(c *Cluster) resumeMsg {
+	c.yielded <- t
+	msg := <-t.resume
+	if msg.kill {
+		panic(killedPanic{})
+	}
+	t.delivered = msg
+	return msg
+}
+
+// yieldStep marks the thread runnable and gives up the baton for one step.
+func (t *Thread) yieldStep(c *Cluster) {
+	t.state = tsRunnable
+	t.pause(c)
+}
+
+// block parks the thread in the blocked state until someone wakes it.
+func (t *Thread) block(c *Cluster, reason, site string) resumeMsg {
+	t.state = tsBlocked
+	t.blockReason = reason
+	t.blockSite = site
+	return t.pause(c)
+}
+
+// wake marks a blocked thread runnable with a payload. It is a no-op for
+// threads that are not blocked (e.g. already killed).
+func (t *Thread) wake(msg resumeMsg) {
+	if t.state != tsBlocked {
+		return
+	}
+	t.state = tsRunnable
+	t.pendingWake = msg
+}
+
+// alive reports whether the thread can still run.
+func (t *Thread) alive() bool {
+	return t.state == tsRunnable || t.state == tsBlocked || t.state == tsRunning
+}
+
+// ctlTaints unions the control taints of all open scopes.
+func (t *Thread) ctlTaints() []trace.OpID {
+	var out []trace.OpID
+	for i := range t.scopes {
+		out = mergeTaints(out, t.scopes[i].ctl)
+	}
+	return out
+}
+
+// labels returns the callstack labels of open scopes.
+func (t *Thread) labels() []string {
+	out := make([]string, 0, len(t.scopes)+1)
+	out = append(out, t.name)
+	for i := range t.scopes {
+		out = append(out, t.scopes[i].label)
+	}
+	return out
+}

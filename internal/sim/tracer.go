@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"fcatch/internal/trace"
+)
+
+// tracer appends records to the run's trace, implementing the paper's
+// selective tracing policy (Section 3.2): happens-before operations, storage
+// operations and synchronization-loop reads are always recorded; plain heap
+// accesses only when they execute inside an RPC/message/event handler (or
+// its callees) — or everywhere in the exhaustive ablation mode.
+type tracer struct {
+	c     *Cluster
+	trace *trace.Trace
+}
+
+func newTracer(c *Cluster) *tracer {
+	tr := &tracer{c: c}
+	if c.cfg.Tracing != TraceOff {
+		tr.trace = trace.New()
+	}
+	return tr
+}
+
+// shouldTrace applies the selectivity policy to one record.
+func (tr *tracer) shouldTrace(t *Thread, r *trace.Record) bool {
+	if tr.trace == nil {
+		return false
+	}
+	switch r.Kind {
+	case trace.KHeapRead, trace.KHeapWrite:
+		if tr.c.cfg.Tracing == TraceExhaustive {
+			return true
+		}
+		return t.handlerCtx
+	case trace.KLoopRead:
+		return true // identified sync-loop reads are traced everywhere
+	}
+	return true
+}
+
+// emit records an operation performed by thread t. It fills in the ambient
+// fields (timestamp, pid, thread, frame, callstack, handler flag) and
+// returns the new op's ID — or trace.NoOp when the record is not traced.
+func (tr *tracer) emit(t *Thread, r trace.Record) trace.OpID {
+	if !tr.shouldTrace(t, &r) {
+		return trace.NoOp
+	}
+	r.TS = tr.c.clock
+	r.Machine = t.node.Machine
+	r.PID = t.node.PID
+	r.Thread = t.id
+	r.Frame = t.frame
+	r.Stack = t.labels()
+	if t.handlerCtx {
+		r.Flags |= trace.FlagHandlerCtx
+	}
+	if len(r.Ctl) == 0 {
+		r.Ctl = t.ctlTaints()
+	}
+	tr.c.clock += tr.c.cfg.TraceTickCost
+	id := tr.trace.Append(r)
+	if r.Kind == trace.KThreadStart {
+		if !tr.trace.HasPID(r.PID) {
+			tr.trace.PIDs = append(tr.trace.PIDs, r.PID)
+		}
+	}
+	return id
+}
+
+// emitSystem records scheduler-context bookkeeping (crash/restart marks).
+func (tr *tracer) emitSystem(r trace.Record) trace.OpID {
+	if tr.trace == nil {
+		return trace.NoOp
+	}
+	r.TS = tr.c.clock
+	r.PID = "system"
+	r.Frame = trace.NoOp
+	return tr.trace.Append(r)
+}
+
+// needSites reports whether op sites must be computed this run (they are
+// needed for traces and for matching trigger points).
+func (c *Cluster) needSites() bool {
+	return c.tracer.trace != nil || (c.pendingPlan != nil && len(c.pendingPlan.Triggers) > 0)
+}

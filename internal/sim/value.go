@@ -1,0 +1,130 @@
+// Package sim implements a deterministic, cooperatively scheduled
+// distributed-system simulator. It is the substrate the mini cloud systems
+// (internal/apps/...) run on and the instrumentation point FCatch traces.
+//
+// Determinism is the load-bearing property: given the same workload, seed and
+// fault plan, a cluster produces bit-identical traces. FCatch's VM-checkpoint
+// trick (Section 3.1 of the paper) is realized as deterministic replay — a
+// "checkpoint at step k" is a re-run from step 0 that injects (or does not
+// inject) a crash at step k, which yields the same identical-prefix pair of
+// runs the paper obtains from VirtualBox snapshots, including stable heap
+// object IDs across the pair.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"fcatch/internal/trace"
+)
+
+// Value is a datum flowing through a simulated system, together with the set
+// of trace operations whose results influenced it (dynamic data dependence).
+// The taints substitute for the paper's WALA data-flow analysis: wherever the
+// paper asks "does X depend on read R?", the detectors test R ∈ X.Taint.
+type Value struct {
+	Data  any
+	taint []trace.OpID
+}
+
+// V wraps a plain datum with no taint.
+func V(data any) Value { return Value{Data: data} }
+
+// Bool interprets the value as a condition: nil, false, 0, and "" are false.
+func (v Value) Bool() bool {
+	switch d := v.Data.(type) {
+	case nil:
+		return false
+	case bool:
+		return d
+	case int:
+		return d != 0
+	case int64:
+		return d != 0
+	case string:
+		return d != ""
+	default:
+		return true
+	}
+}
+
+// Int returns the value as an int (0 if it is not one).
+func (v Value) Int() int {
+	switch d := v.Data.(type) {
+	case int:
+		return d
+	case int64:
+		return int(d)
+	}
+	return 0
+}
+
+// Str returns the value as a string (fmt-rendered if not one).
+func (v Value) Str() string {
+	if s, ok := v.Data.(string); ok {
+		return s
+	}
+	if v.Data == nil {
+		return ""
+	}
+	return fmt.Sprint(v.Data)
+}
+
+// IsNil reports whether the value holds nothing.
+func (v Value) IsNil() bool { return v.Data == nil }
+
+// Taint returns the op IDs that influenced this value.
+func (v Value) Taint() []trace.OpID { return v.taint }
+
+// WithTaint returns a copy of v additionally tainted by the given ops.
+func (v Value) WithTaint(ops ...trace.OpID) Value {
+	v.taint = mergeTaints(v.taint, ops)
+	return v
+}
+
+// Derive produces a new value computed from v and the given inputs; the
+// result carries the union of all taints. Use it for app-level computation
+// that combines tainted data (string concat, arithmetic, ...).
+func Derive(data any, inputs ...Value) Value {
+	out := Value{Data: data}
+	for _, in := range inputs {
+		out.taint = mergeTaints(out.taint, in.taint)
+	}
+	return out
+}
+
+// maxTaint bounds taint sets; real dependence chains in the mini systems are
+// short, so the cap only guards against pathological accumulation.
+const maxTaint = 64
+
+// mergeTaints returns the sorted, deduplicated union, capped at maxTaint.
+func mergeTaints(a []trace.OpID, b []trace.OpID) []trace.OpID {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]trace.OpID, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 0
+	for i, id := range out {
+		if i == 0 || id != out[w-1] {
+			out[w] = id
+			w++
+		}
+	}
+	out = out[:w]
+	if len(out) > maxTaint {
+		out = out[len(out)-maxTaint:]
+	}
+	return out
+}
+
+// taintsOf unions the taints of several values.
+func taintsOf(vs ...Value) []trace.OpID {
+	var out []trace.OpID
+	for _, v := range vs {
+		out = mergeTaints(out, v.taint)
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Save writes the trace to path as gzipped gob, the compact on-disk format
+// used by the CLI between the tracing and analysis phases.
+func (t *Trace) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: save: %w", err)
+	}
+	defer f.Close()
+	zw := gzip.NewWriter(f)
+	if err := gob.NewEncoder(zw).Encode(t); err != nil {
+		return fmt.Errorf("trace: encode %s: %w", path, err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("trace: flush %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads a trace written by Save.
+func Load(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: load: %w", err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("trace: gunzip %s: %w", path, err)
+	}
+	defer zr.Close()
+	var t Trace
+	if err := gob.NewDecoder(zr).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode %s: %w", path, err)
+	}
+	return &t, nil
+}
+
+// WriteJSON streams the trace as line-delimited JSON records, the
+// human-inspectable dump format (`fcatch trace -dump`).
+func (t *Trace) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range t.Records {
+		if err := enc.Encode(&t.Records[i]); err != nil {
+			return fmt.Errorf("trace: json record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSON parses a stream produced by WriteJSON.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	t := New()
+	dec := json.NewDecoder(r)
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: json decode: %w", err)
+		}
+		t.Records = append(t.Records, rec)
+	}
+	return t, nil
+}

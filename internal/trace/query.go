@@ -1,0 +1,82 @@
+package trace
+
+import "strings"
+
+// Query filters trace records; zero-valued fields match everything.
+type Query struct {
+	// Kinds restricts to the listed op kinds.
+	Kinds []Kind
+	// PID matches the process (exact) or, with a trailing '*', by prefix.
+	PID string
+	// ResContains matches records whose resource ID contains the substring.
+	ResContains string
+	// SiteContains matches records whose site contains the substring.
+	SiteContains string
+	// AuxContains matches records whose aux field contains the substring.
+	AuxContains string
+	// After/Before bound the logical timestamp (inclusive; 0 = unbounded).
+	After, Before int64
+}
+
+// Match reports whether the record satisfies the query.
+func (q Query) Match(r *Record) bool {
+	if len(q.Kinds) > 0 {
+		ok := false
+		for _, k := range q.Kinds {
+			if r.Kind == k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if q.PID != "" {
+		if strings.HasSuffix(q.PID, "*") {
+			if !strings.HasPrefix(r.PID, strings.TrimSuffix(q.PID, "*")) {
+				return false
+			}
+		} else if r.PID != q.PID {
+			return false
+		}
+	}
+	if q.ResContains != "" && !strings.Contains(r.Res, q.ResContains) {
+		return false
+	}
+	if q.SiteContains != "" && !strings.Contains(r.Site, q.SiteContains) {
+		return false
+	}
+	if q.AuxContains != "" && !strings.Contains(r.Aux, q.AuxContains) {
+		return false
+	}
+	if q.After > 0 && r.TS < q.After {
+		return false
+	}
+	if q.Before > 0 && r.TS > q.Before {
+		return false
+	}
+	return true
+}
+
+// Filter returns the records matching the query, in trace order.
+func (t *Trace) Filter(q Query) []*Record {
+	var out []*Record
+	for i := range t.Records {
+		if q.Match(&t.Records[i]) {
+			out = append(out, &t.Records[i])
+		}
+	}
+	return out
+}
+
+// KindByName resolves a kind's String() form back to the Kind (false if
+// unknown) — for CLI filters.
+func KindByName(name string) (Kind, bool) {
+	for k, s := range kindNames {
+		if s == name {
+			return k, true
+		}
+	}
+	return KInvalid, false
+}

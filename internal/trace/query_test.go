@@ -1,0 +1,86 @@
+package trace_test
+
+import (
+	"testing"
+
+	"fcatch/internal/trace"
+)
+
+func queryFixture() *trace.Trace {
+	tr := trace.New()
+	tr.Append(trace.Record{Kind: trace.KMsgSend, PID: "a#1", Aux: "ping", TS: 5, Site: "a.go:1"})
+	tr.Append(trace.Record{Kind: trace.KMsgSend, PID: "a#2", Aux: "pong", TS: 9, Site: "a.go:2"})
+	tr.Append(trace.Record{Kind: trace.KKVUpdate, PID: "b#1", Res: "zk:/locks/x", Aux: "create", TS: 12})
+	tr.Append(trace.Record{Kind: trace.KStRead, PID: "b#1", Res: "gfs:/data/y", TS: 20, Site: "b.go:9"})
+	return tr
+}
+
+func TestFilterByKind(t *testing.T) {
+	tr := queryFixture()
+	got := tr.Filter(trace.Query{Kinds: []trace.Kind{trace.KMsgSend}})
+	if len(got) != 2 {
+		t.Fatalf("kind filter = %d records", len(got))
+	}
+	got = tr.Filter(trace.Query{Kinds: []trace.Kind{trace.KKVUpdate, trace.KStRead}})
+	if len(got) != 2 || got[0].Kind != trace.KKVUpdate {
+		t.Fatalf("multi-kind filter = %v", got)
+	}
+}
+
+func TestFilterByPID(t *testing.T) {
+	tr := queryFixture()
+	if got := tr.Filter(trace.Query{PID: "a#1"}); len(got) != 1 {
+		t.Fatalf("exact pid = %d", len(got))
+	}
+	if got := tr.Filter(trace.Query{PID: "a*"}); len(got) != 2 {
+		t.Fatalf("prefix pid = %d", len(got))
+	}
+	if got := tr.Filter(trace.Query{PID: "c#1"}); len(got) != 0 {
+		t.Fatalf("unknown pid = %d", len(got))
+	}
+}
+
+func TestFilterBySubstrings(t *testing.T) {
+	tr := queryFixture()
+	if got := tr.Filter(trace.Query{ResContains: "locks"}); len(got) != 1 || got[0].Aux != "create" {
+		t.Fatalf("res filter = %v", got)
+	}
+	if got := tr.Filter(trace.Query{SiteContains: "a.go"}); len(got) != 2 {
+		t.Fatalf("site filter = %d", len(got))
+	}
+	if got := tr.Filter(trace.Query{AuxContains: "pong"}); len(got) != 1 {
+		t.Fatalf("aux filter = %d", len(got))
+	}
+}
+
+func TestFilterByTimeWindow(t *testing.T) {
+	tr := queryFixture()
+	got := tr.Filter(trace.Query{After: 6, Before: 15})
+	if len(got) != 2 || got[0].TS != 9 || got[1].TS != 12 {
+		t.Fatalf("window filter = %v", got)
+	}
+}
+
+func TestFilterConjunction(t *testing.T) {
+	tr := queryFixture()
+	got := tr.Filter(trace.Query{Kinds: []trace.Kind{trace.KMsgSend}, PID: "a#2", AuxContains: "pong"})
+	if len(got) != 1 {
+		t.Fatalf("conjunction = %d", len(got))
+	}
+	got = tr.Filter(trace.Query{Kinds: []trace.Kind{trace.KMsgSend}, PID: "b#1"})
+	if len(got) != 0 {
+		t.Fatal("conjunction must intersect, not union")
+	}
+}
+
+func TestKindByName(t *testing.T) {
+	for _, k := range []trace.Kind{trace.KMsgSend, trace.KKVUpdate, trace.KLoopRead, trace.KCrash} {
+		got, ok := trace.KindByName(k.String())
+		if !ok || got != k {
+			t.Errorf("KindByName(%s) = %v, %v", k, got, ok)
+		}
+	}
+	if _, ok := trace.KindByName("not-a-kind"); ok {
+		t.Error("unknown kind accepted")
+	}
+}

@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"sort"
+)
+
+// Trace is the full record stream of one observed run, plus run-level
+// metadata the detectors need (which processes existed, where the injected
+// crash landed, which writes last defined each resource, ...).
+type Trace struct {
+	// Records in emission order; Records[i].ID == OpID(i+1).
+	Records []Record
+
+	// PIDs lists every process that appeared in the run, in start order.
+	PIDs []string
+
+	// CrashStep is the scheduler step at which the observation crash was
+	// injected, or -1 for a fault-free run.
+	CrashStep int64
+	// CrashedPID is the process crashed by the observation fault ("" if none).
+	CrashedPID string
+
+	// Wall-clock durations, filled by the observer (Table 4).
+	BaselineNanos int64 // run duration with this trace's tracing mode
+}
+
+// New returns an empty trace for a fault-free run.
+func New() *Trace {
+	return &Trace{CrashStep: -1}
+}
+
+// Append adds a record, assigning its ID, and returns the ID.
+func (t *Trace) Append(r Record) OpID {
+	r.ID = OpID(len(t.Records) + 1)
+	t.Records = append(t.Records, r)
+	return r.ID
+}
+
+// At returns the record with the given ID, or nil for NoOp / out of range.
+func (t *Trace) At(id OpID) *Record {
+	if id < 1 || int(id) > len(t.Records) {
+		return nil
+	}
+	return &t.Records[id-1]
+}
+
+// Len returns the number of records.
+func (t *Trace) Len() int { return len(t.Records) }
+
+// HasPID reports whether pid appeared in the run.
+func (t *Trace) HasPID(pid string) bool {
+	for _, p := range t.PIDs {
+		if p == pid {
+			return true
+		}
+	}
+	return false
+}
+
+// Index holds the derived lookups shared by the happens-before analysis and
+// both detectors. Build it once per trace.
+type Index struct {
+	T *Trace
+
+	// ByKind groups record IDs by kind, in trace order.
+	ByKind map[Kind][]OpID
+
+	// ByRes groups record IDs by resource ID, in trace order.
+	ByRes map[string][]OpID
+
+	// Causees maps a causal op to the activation records it spawned
+	// (thread starts, handler begins, KV notifies).
+	Causees map[OpID][]OpID
+
+	// FrameOps maps an activation record to the ops that executed directly
+	// under it (not through nested activations).
+	FrameOps map[OpID][]OpID
+
+	// ThreadStart maps a thread id to its KThreadStart record.
+	ThreadStart map[int]OpID
+}
+
+// BuildIndex scans the trace once and produces the Index.
+func BuildIndex(t *Trace) *Index {
+	ix := &Index{
+		T:           t,
+		ByKind:      make(map[Kind][]OpID),
+		ByRes:       make(map[string][]OpID),
+		Causees:     make(map[OpID][]OpID),
+		FrameOps:    make(map[OpID][]OpID),
+		ThreadStart: make(map[int]OpID),
+	}
+	for i := range t.Records {
+		r := &t.Records[i]
+		ix.ByKind[r.Kind] = append(ix.ByKind[r.Kind], r.ID)
+		if r.Res != "" {
+			ix.ByRes[r.Res] = append(ix.ByRes[r.Res], r.ID)
+		}
+		if r.Kind.IsActivation() || r.Kind == KKVNotify {
+			if r.Causor != NoOp {
+				ix.Causees[r.Causor] = append(ix.Causees[r.Causor], r.ID)
+			}
+		}
+		if r.Kind == KThreadStart {
+			ix.ThreadStart[r.Thread] = r.ID
+		}
+		if r.Frame != NoOp {
+			ix.FrameOps[r.Frame] = append(ix.FrameOps[r.Frame], r.ID)
+		}
+	}
+	return ix
+}
+
+// Activation returns the activation record op executed under, or nil.
+func (ix *Index) Activation(op *Record) *Record {
+	return ix.T.At(op.Frame)
+}
+
+// Causor returns the direct causor record of op, following the paper's
+// definition: the operation whose disappearance makes op disappear. For an
+// ordinary op that is the causor of its activation frame; for an activation
+// or KV-notify record it is the recorded causor itself.
+func (ix *Index) Causor(op *Record) *Record {
+	if op.Kind.IsActivation() || op.Kind == KKVNotify {
+		return ix.T.At(op.Causor)
+	}
+	act := ix.Activation(op)
+	if act == nil {
+		return nil
+	}
+	return ix.T.At(act.Causor)
+}
+
+// OpsOfKinds returns all record IDs of the given kinds, merged in trace order.
+func (ix *Index) OpsOfKinds(kinds ...Kind) []OpID {
+	var out []OpID
+	for _, k := range kinds {
+		out = append(out, ix.ByKind[k]...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WritesTo returns all write-like ops on resource res, in trace order.
+func (ix *Index) WritesTo(res string) []OpID {
+	var out []OpID
+	for _, id := range ix.ByRes[res] {
+		if ix.T.At(id).Kind.IsWriteLike() {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ReadsOf returns all read-like ops on resource res, in trace order.
+func (ix *Index) ReadsOf(res string) []OpID {
+	var out []OpID
+	for _, id := range ix.ByRes[res] {
+		if ix.T.At(id).Kind.IsReadLike() {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package trace_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"fcatch/internal/trace"
+)
+
+func mk(kind trace.Kind, pid string, thread int, res string) trace.Record {
+	return trace.Record{Kind: kind, PID: pid, Thread: thread, Res: res}
+}
+
+func TestAppendAssignsDenseOneBasedIDs(t *testing.T) {
+	tr := trace.New()
+	for i := 0; i < 5; i++ {
+		id := tr.Append(mk(trace.KHeapRead, "p", 1, "r"))
+		if id != trace.OpID(i+1) {
+			t.Fatalf("id %d, want %d", id, i+1)
+		}
+	}
+	if tr.At(0) != nil {
+		t.Fatal("At(NoOp) must be nil")
+	}
+	if tr.At(6) != nil {
+		t.Fatal("At(out of range) must be nil")
+	}
+	if tr.At(3).ID != 3 {
+		t.Fatal("At(3) returned wrong record")
+	}
+}
+
+func TestAtIsInverseOfAppend(t *testing.T) {
+	f := func(kinds []uint8) bool {
+		tr := trace.New()
+		var ids []trace.OpID
+		for _, k := range kinds {
+			kind := trace.Kind(int(k)%int(trace.KRestart) + 1)
+			ids = append(ids, tr.Append(mk(kind, "p", 0, "")))
+		}
+		for i, id := range ids {
+			r := tr.At(id)
+			if r == nil || r.ID != id || int(id) != i+1 {
+				return false
+			}
+		}
+		return tr.Len() == len(kinds)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	if !trace.KRPCCall.IsCausal() || !trace.KMsgSend.IsCausal() || !trace.KKVUpdate.IsCausal() {
+		t.Error("causal kinds misclassified")
+	}
+	if trace.KHeapWrite.IsCausal() || trace.KWait.IsCausal() {
+		t.Error("non-causal kinds misclassified")
+	}
+	if !trace.KThreadStart.IsActivation() || !trace.KHandlerBegin.IsActivation() {
+		t.Error("activation kinds misclassified")
+	}
+	if !trace.KStDelete.IsStorage() || trace.KHeapRead.IsStorage() {
+		t.Error("storage kinds misclassified")
+	}
+	for _, k := range []trace.Kind{trace.KHeapWrite, trace.KStCreate, trace.KStDelete, trace.KStWrite, trace.KStRename, trace.KKVUpdate} {
+		if !k.IsWriteLike() {
+			t.Errorf("%v should be write-like", k)
+		}
+	}
+	for _, k := range []trace.Kind{trace.KHeapRead, trace.KLoopRead, trace.KStRead, trace.KStExists, trace.KStList} {
+		if !k.IsReadLike() {
+			t.Errorf("%v should be read-like", k)
+		}
+	}
+	if trace.KSignal.IsWriteLike() || trace.KWait.IsReadLike() {
+		t.Error("signal/wait are not resource accesses")
+	}
+}
+
+func TestIndexGroupsAndCausality(t *testing.T) {
+	tr := trace.New()
+	spawn := tr.Append(mk(trace.KThreadCreate, "p", 1, ""))
+	start := tr.Append(trace.Record{Kind: trace.KThreadStart, PID: "p", Thread: 2, Causor: spawn})
+	read := tr.Append(trace.Record{Kind: trace.KHeapRead, PID: "p", Thread: 2, Frame: start, Res: "heap:p:o.f"})
+	write := tr.Append(trace.Record{Kind: trace.KHeapWrite, PID: "p", Thread: 2, Frame: start, Res: "heap:p:o.f"})
+
+	ix := trace.BuildIndex(tr)
+	if got := ix.ByKind[trace.KHeapRead]; len(got) != 1 || got[0] != read {
+		t.Fatalf("ByKind[read] = %v", got)
+	}
+	if got := ix.ByRes["heap:p:o.f"]; len(got) != 2 {
+		t.Fatalf("ByRes = %v", got)
+	}
+	if got := ix.Causees[spawn]; len(got) != 1 || got[0] != start {
+		t.Fatalf("Causees = %v", got)
+	}
+	if c := ix.Causor(tr.At(read)); c == nil || c.ID != spawn {
+		t.Fatalf("Causor(read) = %v, want the spawn op", c)
+	}
+	if got := ix.WritesTo("heap:p:o.f"); len(got) != 1 || got[0] != write {
+		t.Fatalf("WritesTo = %v", got)
+	}
+	if got := ix.ReadsOf("heap:p:o.f"); len(got) != 1 || got[0] != read {
+		t.Fatalf("ReadsOf = %v", got)
+	}
+}
+
+func TestHasPID(t *testing.T) {
+	tr := trace.New()
+	tr.PIDs = []string{"a#1", "b#1"}
+	if !tr.HasPID("a#1") || tr.HasPID("c#1") {
+		t.Fatal("HasPID wrong")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tr := trace.New()
+	tr.CrashStep = 42
+	tr.CrashedPID = "x#1"
+	tr.PIDs = []string{"x#1", "y#1"}
+	for i := 0; i < 20; i++ {
+		tr.Append(trace.Record{
+			Kind: trace.KStWrite, PID: "x#1", Thread: i, Res: "gfs:/f",
+			Taint: []trace.OpID{1, 2}, Stack: []string{"main", "fn"},
+		})
+	}
+	path := filepath.Join(t.TempDir(), "t.gob.gz")
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 20 || got.CrashStep != 42 || got.CrashedPID != "x#1" || len(got.PIDs) != 2 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got.Records[3].Stack[1] != "fn" {
+		t.Fatal("record contents lost")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := trace.New()
+	tr.Append(mk(trace.KSignal, "p", 1, "cv:p:x/1"))
+	tr.Append(mk(trace.KWait, "p", 2, "cv:p:x/1"))
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || got.Records[0].Kind != trace.KSignal {
+		t.Fatalf("json round trip: %+v", got.Records)
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := trace.Record{ID: 7, TS: 9, PID: "n#1", Thread: 3, Kind: trace.KMsgSend,
+		Res: "", Aux: "ping", Target: "m#1", Site: "a.go:1"}
+	s := r.String()
+	for _, want := range []string{"#7", "n#1/3", "msg-send", "aux=ping", "->m#1", "@a.go:1"} {
+		if !bytes.Contains([]byte(s), []byte(want)) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestFlags(t *testing.T) {
+	r := trace.Record{Flags: trace.FlagTimedWait | trace.FlagDropped}
+	if !r.HasFlag(trace.FlagTimedWait) || !r.HasFlag(trace.FlagDropped) {
+		t.Fatal("flags not set")
+	}
+	if r.HasFlag(trace.FlagRecoveryRoot) {
+		t.Fatal("unset flag reported set")
+	}
+}

@@ -1,0 +1,38 @@
+package fcatch_test
+
+import (
+	"testing"
+
+	"fcatch"
+)
+
+func TestPruningAblationMonotone(t *testing.T) {
+	rows, err := fcatch.PruningAblation(fcatch.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + fcatch.RenderPruningAblation(rows))
+	totalFull, totalNone := 0, 0
+	for _, r := range rows {
+		// DESIGN.md invariant: disabling a pruning stage never removes a report.
+		for name, n := range map[string]int{
+			"no-timeout": r.NoTimeout, "no-dependence": r.NoDependence,
+			"no-impact": r.NoImpact, "none": r.NoneAtAll,
+		} {
+			if n < r.Full {
+				t.Errorf("%s/%s: %d reports < full %d (pruning removal lost reports)", r.Workload, name, n, r.Full)
+			}
+		}
+		if r.NoneAtAll < r.NoImpact || r.NoneAtAll < r.NoDependence || r.NoneAtAll < r.NoTimeout {
+			t.Errorf("%s: disabling everything must dominate single-stage ablations", r.Workload)
+		}
+		totalFull += r.Full
+		totalNone += r.NoneAtAll
+	}
+	// Section 8.4: without the analyses, false positives explode. (The
+	// paper's 5x/40x counts raw pairs; after deduplication the growth in
+	// distinct reports is smaller but still severalfold.)
+	if totalNone < totalFull*5/2 {
+		t.Errorf("unpruned reports %d vs %d pruned: expected several-fold growth", totalNone, totalFull)
+	}
+}

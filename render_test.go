@@ -1,0 +1,65 @@
+package fcatch_test
+
+import (
+	"strings"
+	"testing"
+
+	"fcatch"
+)
+
+func TestRenderTable1Contents(t *testing.T) {
+	s := fcatch.RenderTable1()
+	for _, want := range []string{"CA", "1.1.12", "HB", "0.96.0", "0.90.1", "MR", "0.23.1", "2.1.1", "ZK", "3.4.5", "AntiEntropy", "WordCount"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 1 render missing %q", want)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 9 { // title + header + separator + 6 rows
+		t.Errorf("Table 1 has %d lines, want 9", len(lines))
+	}
+}
+
+func TestRenderRandom(t *testing.T) {
+	res := &fcatch.RandomResult{
+		Workload: "XX", Runs: 100, FailureRuns: 3,
+		Failures: map[string]int{"hang:a/main": 2, "fatal:boom": 1},
+	}
+	s := fcatch.RenderRandom([]*fcatch.RandomResult{res})
+	for _, want := range []string{"XX", "3/100", "2 distinct", "2x hang:a/main", "1x fatal:boom"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("random render missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestRenderSensitivity(t *testing.T) {
+	s := fcatch.RenderSensitivity(&fcatch.SensitivityResult{BugsByPhase: map[string][]string{
+		"begin": {"A", "B"}, "middle": {"A", "B"}, "end": {"A"},
+	}})
+	if !strings.Contains(s, "begin  ( 2): A, B") || !strings.Contains(s, "end    ( 1): A") {
+		t.Fatalf("sensitivity render:\n%s", s)
+	}
+}
+
+func TestRenderPruningAblation(t *testing.T) {
+	s := fcatch.RenderPruningAblation([]fcatch.PruningAblationRow{
+		{Workload: "W1", Full: 2, NoTimeout: 3, NoDependence: 2, NoImpact: 5, NoneAtAll: 8},
+		{Workload: "W2", Full: 1, NoTimeout: 1, NoDependence: 2, NoImpact: 3, NoneAtAll: 4},
+	})
+	for _, want := range []string{"W1", "W2", "Total", "4.0x"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("pruning ablation render missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestRenderAblationMarksFailures(t *testing.T) {
+	s := fcatch.RenderAblation([]fcatch.AblationRow{
+		{Workload: "CA1&2", SelectiveSteps: 10, ExhaustiveSteps: 40, SelectiveOK: true, ExhaustiveOK: false, ExhaustiveNote: "conviction"},
+		{Workload: "ZK", SelectiveSteps: 5, ExhaustiveSteps: 12, SelectiveOK: true, ExhaustiveOK: true},
+	})
+	if !strings.Contains(s, "FAIL: conviction") || !strings.Contains(s, "ok") {
+		t.Fatalf("ablation render:\n%s", s)
+	}
+}

@@ -1,0 +1,391 @@
+package fcatch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"fcatch/internal/core"
+	"fcatch/internal/detect"
+	"fcatch/internal/inject"
+	"fcatch/internal/sim"
+)
+
+// EvalRun is one full evaluation pass: detection and triggering over every
+// workload. It is the data source for Tables 2, 3, 4 and 5.
+type EvalRun struct {
+	Opts     Options
+	Order    []string
+	Results  map[string]*Result
+	Outcomes map[string][]*TriggerOutcome
+}
+
+// RunEvaluation reproduces the paper's end-to-end evaluation: for each of
+// the six workloads, observe the correct-run pair, detect, and trigger every
+// report. Pass MeasureBaseline to also collect the Table 4 timings.
+func RunEvaluation(opts Options) (*EvalRun, error) {
+	e := &EvalRun{
+		Opts:     opts,
+		Results:  make(map[string]*Result),
+		Outcomes: make(map[string][]*TriggerOutcome),
+	}
+	for _, w := range Workloads() {
+		res, err := Detect(w, opts)
+		if err != nil {
+			return nil, fmt.Errorf("fcatch: %s: %w", w.Name(), err)
+		}
+		e.Order = append(e.Order, w.Name())
+		e.Results[w.Name()] = res
+		e.Outcomes[w.Name()] = Trigger(w, res)
+	}
+	return e, nil
+}
+
+// MatchReport finds the catalog entry a report's static signature matches,
+// regardless of its trigger verdict (used by the sensitivity study).
+func MatchReport(workload string, r *Report) *BugSpec {
+	for i := range Catalog {
+		s := &Catalog[i]
+		if s.Type != r.Type || !opsMatch(s.Ops, r.OpsDesc) {
+			continue
+		}
+		if !strings.Contains(r.ResClass, s.ResHint) {
+			continue
+		}
+		for _, w := range s.Workloads {
+			if w == workload {
+				return s
+			}
+		}
+	}
+	return nil
+}
+
+// --- Table 1: the benchmark suite. ---
+
+// Table1Row is one benchmark workload (Table 1 of the paper).
+type Table1Row struct {
+	App      string
+	Version  string
+	Workload string
+	Bench    string
+	Bugs     string
+}
+
+// Table1 lists the six workloads.
+func Table1() []Table1Row {
+	return []Table1Row{
+		{"CA", "1.1.12", "Startup + AntiEntropy (AE)", "CA1&2", "CA1, CA2"},
+		{"HB", "0.96.0", "Startup + HMasterRestart", "HB1", "HB1"},
+		{"HB", "0.90.1", "Startup", "HB2", "HB2"},
+		{"MR", "0.23.1", "Startup + WordCount(WC)", "MR1", "MR1"},
+		{"MR", "2.1.1", "Startup + WordCount(WC)", "MR2", "MR2"},
+		{"ZK", "3.4.5", "Startup", "ZK", "ZK"},
+	}
+}
+
+// --- Table 2: the TOF bugs found. ---
+
+// Table2Row is one confirmed bug (Table 2 of the paper).
+type Table2Row struct {
+	ID        string
+	Ops       string
+	Res       string
+	Symptom   string
+	Category  BugCategory
+	Confirmed bool // triggering produced a real failure
+}
+
+// Table2 lists every catalogued bug with whether this evaluation confirmed
+// it (bugs reported by several workloads — MR3 — appear once).
+func (e *EvalRun) Table2() []Table2Row {
+	confirmed := map[string]bool{}
+	for wl, outs := range e.Outcomes {
+		for _, out := range outs {
+			if s := MatchSpec(wl, out); s != nil {
+				confirmed[s.ID] = true
+			}
+		}
+	}
+	rows := make([]Table2Row, 0, len(Catalog))
+	for _, s := range Catalog {
+		rows = append(rows, Table2Row{
+			ID: s.ID, Ops: s.Ops, Res: s.ResKind, Symptom: s.Symptom,
+			Category: s.Category, Confirmed: confirmed[s.ID],
+		})
+	}
+	return rows
+}
+
+// --- Table 3: detection results per workload. ---
+
+// Table3Row is one workload's report classification counts (Table 3).
+type Table3Row struct {
+	Workload string
+	// Crash-regular: benchmark bugs, new bugs, exception-FPs, benign-FPs.
+	RegOld, RegNew, RegExp, RegFalse int
+	// Crash-recovery, same columns.
+	RecOld, RecNew, RecExp, RecFalse int
+}
+
+// Total sums the row.
+func (r Table3Row) Total() int {
+	return r.RegOld + r.RegNew + r.RegExp + r.RegFalse + r.RecOld + r.RecNew + r.RecExp + r.RecFalse
+}
+
+// Table3 classifies every report by its trigger verdict and catalog match.
+func (e *EvalRun) Table3() []Table3Row {
+	var rows []Table3Row
+	for _, wl := range e.Order {
+		row := Table3Row{Workload: wl}
+		for _, out := range e.Outcomes[wl] {
+			reg := out.Report.Type == detect.CrashRegular
+			switch out.Class {
+			case inject.TrueBug:
+				spec := MatchSpec(wl, out)
+				old := spec != nil && spec.Category == Benchmark
+				switch {
+				case reg && old:
+					row.RegOld++
+				case reg:
+					row.RegNew++
+				case old:
+					row.RecOld++
+				default:
+					row.RecNew++
+				}
+			case inject.Expected:
+				if reg {
+					row.RegExp++
+				} else {
+					row.RecExp++
+				}
+			default:
+				if reg {
+					row.RegFalse++
+				} else {
+					row.RecFalse++
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Table3Totals sums the rows, counting each true bug once even when several
+// workloads report it (the paper's "*: same bug" footnote: MR3 appears in
+// both MR rows but counts once in the total).
+func (e *EvalRun) Table3Totals() Table3Row {
+	t := Table3Row{Workload: "Total"}
+	seen := map[string]bool{}
+	for _, wl := range e.Order {
+		for _, out := range e.Outcomes[wl] {
+			reg := out.Report.Type == detect.CrashRegular
+			switch out.Class {
+			case inject.TrueBug:
+				spec := MatchSpec(wl, out)
+				if spec != nil {
+					if seen[spec.ID] {
+						continue
+					}
+					seen[spec.ID] = true
+				}
+				old := spec != nil && spec.Category == Benchmark
+				switch {
+				case reg && old:
+					t.RegOld++
+				case reg:
+					t.RegNew++
+				case old:
+					t.RecOld++
+				default:
+					t.RecNew++
+				}
+			case inject.Expected:
+				if reg {
+					t.RegExp++
+				} else {
+					t.RecExp++
+				}
+			default:
+				if reg {
+					t.RegFalse++
+				} else {
+					t.RecFalse++
+				}
+			}
+		}
+	}
+	return t
+}
+
+// --- Table 4: performance. ---
+
+// Table4Row is one workload's timing breakdown (Table 4). Durations are
+// wall-clock for this reproduction's simulator-scale runs.
+type Table4Row struct {
+	Workload string
+	Timings  core.Timings
+}
+
+// Table4 returns the timing rows (meaningful when the evaluation ran with
+// MeasureBaseline).
+func (e *EvalRun) Table4() []Table4Row {
+	var rows []Table4Row
+	for _, wl := range e.Order {
+		rows = append(rows, Table4Row{Workload: wl, Timings: e.Results[wl].Observation.Timings})
+	}
+	return rows
+}
+
+// --- Table 5: pruning power. ---
+
+// Table5Row is one workload's pruned-candidate counts (Table 5).
+type Table5Row struct {
+	Workload    string
+	LoopTimeout int
+	WaitTimeout int
+	Dependence  int
+	Impact      int
+}
+
+// Table5 reports what each fault-tolerance analysis eliminated.
+func (e *EvalRun) Table5() []Table5Row {
+	var rows []Table5Row
+	for _, wl := range e.Order {
+		res := e.Results[wl]
+		rows = append(rows, Table5Row{
+			Workload:    wl,
+			LoopTimeout: res.Regular.Pruned.LoopTimeout,
+			WaitTimeout: res.Regular.Pruned.WaitTimeout,
+			Dependence:  res.Recovery.Pruned.Dependence,
+			Impact:      res.Recovery.Pruned.Impact,
+		})
+	}
+	return rows
+}
+
+// --- Section 8.1.2: crash-point sensitivity. ---
+
+// SensitivityResult compares which catalogued bugs each crash phase's
+// detection pass reports.
+type SensitivityResult struct {
+	// BugsByPhase maps phase name to the sorted catalogued bug IDs whose
+	// signature appeared in that phase's reports.
+	BugsByPhase map[string][]string
+}
+
+// Sensitivity runs detection with the observation crash at the beginning,
+// middle and end of the execution (Section 8.1.2).
+func Sensitivity(seed int64) (*SensitivityResult, error) {
+	out := &SensitivityResult{BugsByPhase: map[string][]string{}}
+	for _, phase := range []Phase{PhaseBegin, PhaseMiddle, PhaseEnd} {
+		found := map[string]bool{}
+		for _, w := range Workloads() {
+			opts := core.Options{Seed: seed, Phase: phase, Tracing: sim.TraceSelective}
+			res, err := Detect(w, opts)
+			if err != nil {
+				return nil, fmt.Errorf("fcatch: sensitivity %s/%s: %w", w.Name(), phase, err)
+			}
+			for _, r := range res.Reports {
+				if s := MatchReport(w.Name(), r); s != nil {
+					found[s.ID] = true
+				}
+			}
+		}
+		ids := make([]string, 0, len(found))
+		for id := range found {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		out.BugsByPhase[phase.String()] = ids
+	}
+	return out, nil
+}
+
+// --- Section 8.2: exhaustive-tracing ablation. ---
+
+// AblationRow compares selective tracing against tracing every heap access
+// for one workload's fault-free run.
+type AblationRow struct {
+	Workload        string
+	SelectiveSteps  int64
+	ExhaustiveSteps int64
+	SelectiveTime   time.Duration
+	ExhaustiveTime  time.Duration
+	SelectiveOK     bool
+	ExhaustiveOK    bool
+	ExhaustiveNote  string
+}
+
+// AblationTraceAll runs every workload fault-free under both tracing modes.
+func AblationTraceAll(seed int64) []AblationRow {
+	var rows []AblationRow
+	for _, w := range Workloads() {
+		row := AblationRow{Workload: w.Name()}
+		for _, mode := range []sim.TracingMode{sim.TraceSelective, sim.TraceExhaustive} {
+			cost := int64(1)
+			if mode == sim.TraceExhaustive {
+				// Tracing every heap access costs far more than the
+				// selective tracer's per-record bookkeeping (Section 8.2).
+				cost = 6
+			}
+			cfg := sim.Config{Seed: seed, Tracing: mode, TraceTickCost: cost}
+			w.Tune(&cfg)
+			c := sim.NewCluster(cfg)
+			w.Configure(c)
+			out := c.Run()
+			err := w.Check(c, out)
+			if mode == sim.TraceSelective {
+				row.SelectiveSteps = out.Steps
+				row.SelectiveTime = out.Elapsed
+				row.SelectiveOK = err == nil
+			} else {
+				row.ExhaustiveSteps = out.Steps
+				row.ExhaustiveTime = out.Elapsed
+				row.ExhaustiveOK = err == nil
+				if err != nil {
+					row.ExhaustiveNote = err.Error()
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// --- Section 8.4: the fault-type trigger matrix. ---
+
+// TriggerMatrixRow records which fault kinds trigger one confirmed bug.
+type TriggerMatrixRow struct {
+	Bug        string
+	NodeCrash  bool
+	KernelDrop bool
+	AppDrop    bool
+}
+
+// TriggerMatrix reproduces the Section 8.4 observations (crash-regular bugs
+// are tried with all three fault types; crash-recovery bugs with crashes).
+func (e *EvalRun) TriggerMatrix() []TriggerMatrixRow {
+	seen := map[string]bool{}
+	var rows []TriggerMatrixRow
+	for _, wl := range e.Order {
+		for _, out := range e.Outcomes[wl] {
+			s := MatchSpec(wl, out)
+			if s == nil || seen[s.ID] {
+				continue
+			}
+			seen[s.ID] = true
+			rows = append(rows, TriggerMatrixRow{
+				Bug:        s.ID,
+				NodeCrash:  out.ByAction["node-crash"],
+				KernelDrop: out.ByAction["kernel-drop"],
+				AppDrop:    out.ByAction["app-drop"],
+			})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Bug < rows[j].Bug })
+	return rows
+}
