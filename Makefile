@@ -2,19 +2,32 @@
 
 GO ?= go
 
-.PHONY: all build test bench eval random examples clean
+.PHONY: all build vet test race check bench bench-json eval random examples clean
 
 all: build test
 
+# check is the tier-1 gate: build + vet + tests + race-detector tests. The
+# race pass matters since the pipeline fans out across cores (Parallelism).
+check: build vet test race
+
 build:
 	$(GO) build ./...
+
+vet:
 	$(GO) vet ./...
 
 test:
 	$(GO) test ./... 2>&1 | tee test_output.txt
 
+race:
+	$(GO) test -race ./...
+
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Machine-readable perf snapshot (ns/op, allocs/op per pipeline stage).
+bench-json:
+	$(GO) run ./cmd/fcatch-bench -json BENCH_current.json
 
 # Regenerate every table and experiment of the paper's evaluation.
 eval:

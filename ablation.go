@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"fcatch/internal/detect"
+	"fcatch/internal/parallel"
 )
 
 // PruningAblationRow compares report counts with all analyses on against
@@ -21,7 +22,9 @@ type PruningAblationRow struct {
 }
 
 // PruningAblation runs detection on every workload under each pruning
-// configuration.
+// configuration. All workload×configuration passes fan out together across
+// opts.Parallelism workers; each count lands in its own row field, so the
+// table is deterministic at any setting.
 func PruningAblation(opts Options) ([]PruningAblationRow, error) {
 	configs := []struct {
 		name string
@@ -33,17 +36,26 @@ func PruningAblation(opts Options) ([]PruningAblationRow, error) {
 		{"no-impact", detect.Options{DisableImpactPruning: true}},
 		{"none", detect.Options{DisableTimeoutPruning: true, DisableDependencePruning: true, DisableImpactPruning: true}},
 	}
-	var rows []PruningAblationRow
-	for _, w := range Workloads() {
-		row := PruningAblationRow{Workload: w.Name()}
-		for _, cfg := range configs {
-			o := opts
-			o.Detect = cfg.d
-			res, err := Detect(w, o)
-			if err != nil {
-				return nil, fmt.Errorf("fcatch: pruning ablation %s/%s: %w", w.Name(), cfg.name, err)
-			}
-			n := len(res.Reports)
+	ws := Workloads()
+	counts, err := parallel.MapErr(opts.Parallelism, len(ws)*len(configs), func(i int) (int, error) {
+		w, cfg := ws[i/len(configs)], configs[i%len(configs)]
+		o := opts
+		o.Detect = cfg.d
+		res, err := Detect(w, o)
+		if err != nil {
+			return 0, fmt.Errorf("fcatch: pruning ablation %s/%s: %w", w.Name(), cfg.name, err)
+		}
+		return len(res.Reports), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]PruningAblationRow, len(ws))
+	for wi, w := range ws {
+		row := &rows[wi]
+		row.Workload = w.Name()
+		for ci, cfg := range configs {
+			n := counts[wi*len(configs)+ci]
 			switch cfg.name {
 			case "full":
 				row.Full = n
@@ -57,7 +69,6 @@ func PruningAblation(opts Options) ([]PruningAblationRow, error) {
 				row.NoneAtAll = n
 			}
 		}
-		rows = append(rows, row)
 	}
 	return rows, nil
 }

@@ -13,6 +13,7 @@ import (
 
 	"fcatch"
 	"fcatch/internal/core"
+	"fcatch/internal/detect"
 	"fcatch/internal/hb"
 	"fcatch/internal/sim"
 	"fcatch/internal/trace"
@@ -191,6 +192,31 @@ func BenchmarkPruningAblation(b *testing.B) {
 			total += r.NoneAtAll
 		}
 		b.ReportMetric(float64(total), "unpruned-reports")
+	}
+}
+
+// BenchmarkDetectorAnalysis isolates the trace-analysis phase (index build +
+// both detectors) from the simulation runs: observe each workload's run pair
+// once, then re-analyze it every iteration. This is the number the detector
+// hot-path indices (occurrence maps, impact reverse index, memoized chain
+// walks) move.
+func BenchmarkDetectorAnalysis(b *testing.B) {
+	for _, w := range fcatch.Workloads() {
+		obs, err := core.Observe(w, fcatch.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(w.Name(), func(b *testing.B) {
+			reports := 0
+			for i := 0; i < b.N; i++ {
+				gf := hb.New(obs.FaultFree)
+				gy := hb.New(obs.Faulty)
+				reg := detect.DetectRegular(gf, w.Name())
+				rec := detect.DetectRecovery(gf, gy, w.Name())
+				reports = len(reg.Reports) + len(rec.Reports)
+			}
+			b.ReportMetric(float64(reports), "reports")
+		})
 	}
 }
 

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"fcatch"
+	"fcatch/internal/core"
+	"fcatch/internal/detect"
+	"fcatch/internal/hb"
+	"fcatch/internal/sim"
+)
+
+// benchEntry is one benchmark's machine-readable result — the unit future
+// PRs diff to track the perf trajectory in BENCH_*.json.
+type benchEntry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	SecondsOp   float64 `json:"seconds_per_op"`
+}
+
+// benchReport is the envelope written by `fcatch-bench -json out.json`.
+type benchReport struct {
+	GeneratedBy string       `json:"generated_by"`
+	GoVersion   string       `json:"go_version"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	NumCPU      int          `json:"num_cpu"`
+	Seed        int64        `json:"seed"`
+	Timestamp   string       `json:"timestamp"`
+	Benchmarks  []benchEntry `json:"benchmarks"`
+}
+
+func toEntry(name string, r testing.BenchmarkResult) benchEntry {
+	return benchEntry{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		SecondsOp:   float64(r.NsPerOp()) / 1e9,
+	}
+}
+
+// runBenchSuite measures the pipeline's hot paths with testing.Benchmark:
+// the full evaluation sequentially and at full parallelism (the tentpole's
+// wall-clock claim), each workload's detection pass sequentially, and the
+// simulation-free analysis phase per workload (the detector-index ns/op and
+// allocs/op claims).
+func runBenchSuite(seed int64) []benchEntry {
+	var out []benchEntry
+	measure := func(name string, fn func(b *testing.B)) {
+		fmt.Fprintf(os.Stderr, "fcatch-bench: benchmarking %s...\n", name)
+		out = append(out, toEntry(name, testing.Benchmark(fn)))
+	}
+
+	for _, par := range []int{1, 0} {
+		par := par
+		name := fmt.Sprintf("evaluation/parallelism=%d", par)
+		if par == 0 {
+			name = fmt.Sprintf("evaluation/parallelism=max(%d)", runtime.GOMAXPROCS(0))
+		}
+		measure(name, func(b *testing.B) {
+			opts := core.Options{Seed: seed, Phase: fcatch.PhaseBegin, Tracing: sim.TraceSelective, Parallelism: par}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := fcatch.RunEvaluation(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	for _, w := range fcatch.Workloads() {
+		w := w
+		measure("detect/"+w.Name()+"/parallelism=1", func(b *testing.B) {
+			opts := core.Options{Seed: seed, Phase: fcatch.PhaseBegin, Tracing: sim.TraceSelective, Parallelism: 1}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := fcatch.Detect(w, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	for _, w := range fcatch.Workloads() {
+		w := w
+		opts := core.Options{Seed: seed, Phase: fcatch.PhaseBegin, Tracing: sim.TraceSelective, Parallelism: 1}
+		obs, err := core.Observe(w, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fcatch-bench: observe %s: %v\n", w.Name(), err)
+			os.Exit(1)
+		}
+		measure("analysis/"+w.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				gf := hb.New(obs.FaultFree)
+				gy := hb.New(obs.Faulty)
+				_ = detect.DetectRegular(gf, w.Name())
+				_ = detect.DetectRecovery(gf, gy, w.Name())
+			}
+		})
+	}
+
+	measure("random-injection/TOY/runs=40", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := fcatch.RandomInjection(fcatch.MustWorkload("TOY"), 40, seed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	return out
+}
+
+// writeBenchJSON runs the suite and writes the report.
+func writeBenchJSON(path string, seed int64) error {
+	rep := benchReport{
+		GeneratedBy: "fcatch-bench -json",
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Seed:        seed,
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+		Benchmarks:  runBenchSuite(seed),
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

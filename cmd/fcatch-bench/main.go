@@ -7,6 +7,10 @@
 //	fcatch-bench -ablation            # §8.2 exhaustive-tracing ablation
 //	fcatch-bench -randinject [-runs N]# §8.3 random-injection baseline
 //	fcatch-bench -triggering          # §8.4 fault-type matrix
+//	fcatch-bench -json out.json       # machine-readable perf suite (BENCH_*.json)
+//
+// -parallelism bounds the pipeline's worker pool for every experiment
+// (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting.
 package main
 
 import (
@@ -29,9 +33,20 @@ func main() {
 	triggering := flag.Bool("triggering", false, "fault-type trigger matrix (§8.4)")
 	runs := flag.Int("runs", 400, "runs per workload for -randinject")
 	seed := flag.Int64("seed", 1, "deterministic scheduler seed")
+	parallelism := flag.Int("parallelism", 0, "pipeline worker bound (0 = GOMAXPROCS, 1 = sequential)")
+	jsonOut := flag.String("json", "", "run the perf benchmark suite and write JSON results to this file")
 	flag.Parse()
 
-	opts := core.Options{Seed: *seed, Phase: fcatch.PhaseBegin, Tracing: sim.TraceSelective, MeasureBaseline: true}
+	if *jsonOut != "" {
+		if err := writeBenchJSON(*jsonOut, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "fcatch-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "fcatch-bench: wrote", *jsonOut)
+		return
+	}
+
+	opts := core.Options{Seed: *seed, Phase: fcatch.PhaseBegin, Tracing: sim.TraceSelective, MeasureBaseline: true, Parallelism: *parallelism}
 
 	needEval := *all || *triggering || (*table >= 2 && *table <= 5)
 	var eval *fcatch.EvalRun
@@ -84,7 +99,7 @@ func main() {
 		var results []*fcatch.RandomResult
 		for _, w := range fcatch.Workloads() {
 			fmt.Fprintf(os.Stderr, "fcatch-bench: random injection on %s (%d runs)...\n", w.Name(), *runs)
-			r, err := fcatch.RandomInjection(w, *runs, *seed)
+			r, err := fcatch.RandomInjectionP(w, *runs, *seed, *parallelism)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "fcatch-bench:", err)
 				os.Exit(1)

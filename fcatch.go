@@ -123,16 +123,25 @@ func Detect(w Workload, opts Options) (*Result, error) {
 
 // Trigger replays every report's fault (Section 5) and classifies each as a
 // true bug, an expected/handled reaction, or benign. It replays with the
-// observation's seed so trigger points land on the reported operations.
+// observation's seed so trigger points land on the reported operations, and
+// fans the replays across res.Options.Parallelism workers (outcomes stay in
+// report order).
 func Trigger(w Workload, res *Result) []*TriggerOutcome {
 	tg := inject.NewTriggerer(w, res.Options.Seed)
+	tg.Parallelism = res.Options.Parallelism
 	return tg.TriggerAll(res.Reports)
 }
 
 // RandomInjection runs the Section 8.3 baseline: `runs` executions with a
-// node crash at a uniformly random step each.
+// node crash at a uniformly random step each, fanned across every core.
 func RandomInjection(w Workload, runs int, seed int64) (*RandomResult, error) {
 	return inject.RandomCampaign(w, runs, seed)
+}
+
+// RandomInjectionP is RandomInjection with an explicit parallelism bound
+// (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting.
+func RandomInjectionP(w Workload, runs int, seed int64, parallelism int) (*RandomResult, error) {
+	return inject.RandomCampaignP(w, runs, seed, parallelism)
 }
 
 // ReportGroup is a correlated set of crash-recovery reports (the Section 2.3

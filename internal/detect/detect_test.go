@@ -278,8 +278,8 @@ func TestSiteIndexSkipsCrashRecords(t *testing.T) {
 	s := tr.Append(trace.Record{Kind: trace.KThreadStart, PID: "p#1", Thread: 1, Causor: trace.NoOp})
 	tr.Append(trace.Record{Kind: trace.KCrash, PID: "system", Site: "x.go:1"})
 	op := tr.Append(trace.Record{Kind: trace.KHeapWrite, PID: "p#1", Thread: 1, Frame: s, Res: "heap:p#1:o.f", Site: "x.go:1"})
-	ix := buildSiteIndex(tr)
-	if got := ix.occurrence(tr.At(op)); got != 1 {
+	ix := trace.BuildIndex(tr)
+	if got := occurrence(ix, tr.At(op)); got != 1 {
 		t.Fatalf("occurrence = %d, want 1 (crash bookkeeping must not count)", got)
 	}
 }

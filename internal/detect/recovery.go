@@ -1,7 +1,6 @@
 package detect
 
 import (
-	"sort"
 	"strings"
 
 	"fcatch/internal/hb"
@@ -62,8 +61,7 @@ func DetectRecoveryOpts(gf, gy *hb.Graph, workload string, opts Options) *Recove
 		return res
 	}
 	crashedRole := roleOf(crashed)
-	sitesF := buildSiteIndex(tf)
-	sitesY := buildSiteIndex(ty)
+	ixF, ixY := gf.Ix, gy.Ix
 
 	// --- Step 1: recovery operations in the faulty run (Section 4.3.1).
 	// Recovery nodes are processes that exist in the faulty trace but not in
@@ -85,13 +83,19 @@ func DetectRecoveryOpts(gf, gy *hb.Graph, workload string, opts Options) *Recove
 			seeds = append(seeds, r.ID)
 		}
 	}
-	recOps := gy.ForwardClosure(seeds)
+	recOps := gy.ForwardClosureDense(seeds)
 
-	var recReads []*trace.Record  // consumers among recovery ops
-	var recWrites []*trace.Record // for reset (data-dependence) pruning
-	for id := range recOps {
-		r := ty.At(id)
-		if r == nil || r.Res == "" || strings.HasPrefix(r.Res, "cv:") {
+	var recReads []*trace.Record // consumers among recovery ops
+	// earliestRecWrite is the first successful recovery write per resource —
+	// all reset (data-dependence) pruning needs, replacing the per-pair scan
+	// over every recovery write.
+	earliestRecWrite := map[string]trace.OpID{}
+	for i := range ty.Records {
+		r := &ty.Records[i]
+		if !recOps[r.ID] {
+			continue
+		}
+		if r.Res == "" || strings.HasPrefix(r.Res, "cv:") {
 			continue
 		}
 		// Heap content of the crashed process is wiped; ignore it.
@@ -102,11 +106,12 @@ func DetectRecoveryOpts(gf, gy *hb.Graph, workload string, opts Options) *Recove
 			recReads = append(recReads, r)
 		}
 		if r.Kind.IsWriteLike() && !r.HasFlag(trace.FlagFailed) {
-			recWrites = append(recWrites, r)
+			if cur, ok := earliestRecWrite[r.Res]; !ok || r.ID < cur {
+				earliestRecWrite[r.Res] = r.ID
+			}
 		}
 	}
-	sort.Slice(recReads, func(i, j int) bool { return recReads[i].ID < recReads[j].ID })
-	sort.Slice(recWrites, func(i, j int) bool { return recWrites[i].ID < recWrites[j].ID })
+	// recReads is in ID order already: the loop above walks the trace.
 
 	// --- Step 2: crash operations, from the fault-free trace — what the
 	// crashing node did and *could have done* had it lived longer.
@@ -120,7 +125,7 @@ func DetectRecoveryOpts(gf, gy *hb.Graph, workload string, opts Options) *Recove
 		}
 		crashWrites[r.Res] = append(crashWrites[r.Res], r)
 	}
-	remote := gf.ForwardClosure(gf.EscapingSeeds(crashed))
+	remote := gf.ForwardClosureDense(gf.EscapingSeeds(crashed))
 	for i := range tf.Records {
 		r := &tf.Records[i]
 		if !r.Kind.IsWriteLike() {
@@ -177,29 +182,33 @@ func DetectRecoveryOpts(gf, gy *hb.Graph, workload string, opts Options) *Recove
 	// --- Step 4b: data-dependence (reset) pruning. A recovery write to the
 	// same resource before R means recovery replaced the left-over content.
 	resetProtected := func(r *trace.Record) bool {
-		for _, w := range recWrites {
-			if w.Res == r.Res && w.ID < r.ID && w.ID != r.ID {
-				return true
-			}
-		}
-		return false
+		w, ok := earliestRecWrite[r.Res]
+		return ok && w < r.ID
 	}
 
 	// --- Step 4c: impact estimation. R must reach a failure-prone sink
-	// through data or control dependence.
-	hasImpact := func(r *trace.Record) bool {
-		for i := range ty.Records {
-			s := &ty.Records[i]
-			if s.ID <= r.ID || !isImpactSink(s.Kind) {
-				continue
-			}
-			if containsOp(s.Taint, r.ID) || containsOp(s.Ctl, r.ID) {
-				return true
-			}
+	// through data or control dependence. One pass over the faulty trace
+	// inverts the sinks' Taint/Ctl sets into "op reaches a later sink", so
+	// each read's check is an O(1) probe instead of an O(|trace|) scan.
+	// OpIDs are dense, so the set is a flat slice.
+	impacted := make([]bool, len(ty.Records)+1)
+	mark := func(dep, sink trace.OpID) {
+		if dep >= 1 && int(dep) < len(impacted) && dep < sink {
+			impacted[dep] = true
 		}
-		return false
 	}
-	impactCache := map[trace.OpID]bool{}
+	for i := range ty.Records {
+		s := &ty.Records[i]
+		if !isImpactSink(s.Kind) {
+			continue
+		}
+		for _, dep := range s.Taint {
+			mark(dep, s.ID)
+		}
+		for _, dep := range s.Ctl {
+			mark(dep, s.ID)
+		}
+	}
 
 	var reports []*Report
 	for _, p := range pairs {
@@ -209,12 +218,7 @@ func DetectRecoveryOpts(gf, gy *hb.Graph, workload string, opts Options) *Recove
 				continue
 			}
 		}
-		imp, ok := impactCache[p.r.ID]
-		if !ok {
-			imp = hasImpact(p.r)
-			impactCache[p.r.ID] = imp
-		}
-		if !imp {
+		if !impacted[p.r.ID] {
 			res.Pruned.Impact++
 			if !opts.DisableImpactPruning {
 				continue
@@ -224,12 +228,12 @@ func DetectRecoveryOpts(gf, gy *hb.Graph, workload string, opts Options) *Recove
 		// Trigger timing (Section 5): if W already executed before the crash
 		// in the faulty run, inject the crash right before it; if it only
 		// appears in the fault-free continuation, inject right after it.
-		occF := sitesF.occurrence(p.w)
-		inFaulty := len(sitesY[p.w.Site]) >= occF
+		occF := occurrence(ixF, p.w)
+		inFaulty := len(ixY.BySite[p.w.Site]) >= occF
 		if inFaulty {
 			// Confirm the occurrence in the faulty run predates the crash
 			// (it must, by prefix equality, but stay defensive).
-			id := sitesY[p.w.Site][occF-1]
+			id := ixY.BySite[p.w.Site][occF-1]
 			if rec := ty.At(id); rec == nil || rec.TS > ty.CrashStep {
 				inFaulty = false
 			}
@@ -241,7 +245,7 @@ func DetectRecoveryOpts(gf, gy *hb.Graph, workload string, opts Options) *Recove
 			Resource:        p.r.Res,
 			ResClass:        normalizeRes(p.r.Res),
 			W:               summarize(p.w, occF),
-			R:               summarize(p.r, sitesY.occurrence(p.r)),
+			R:               summarize(p.r, occurrence(ixY, p.r)),
 			WInFaultyRun:    inFaulty,
 			CrashTargetPID:  crashed,
 			CrashTargetRole: crashedRole,

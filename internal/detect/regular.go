@@ -13,32 +13,16 @@ type RegularResult struct {
 	Pruned  PruneCounters
 }
 
-// siteIndex counts traced occurrences per site, matching the occurrence
-// numbering the fault injector uses at run time.
-type siteIndex map[string][]trace.OpID
-
-func buildSiteIndex(t *trace.Trace) siteIndex {
-	ix := make(siteIndex)
-	for i := range t.Records {
-		r := &t.Records[i]
-		// Fault bookkeeping records reuse the trigger's site; they are not
-		// operations the injector counts.
-		if r.Kind == trace.KCrash || r.Kind == trace.KRestart {
-			continue
-		}
-		if r.Site != "" {
-			ix[r.Site] = append(ix[r.Site], r.ID)
-		}
-	}
-	return ix
-}
-
-func (s siteIndex) occurrence(r *trace.Record) int {
-	ids := s[r.Site]
-	for i, id := range ids {
-		if id == r.ID {
-			return i + 1
-		}
+// occurrence numbers a record within its site's list (Index.BySite), the
+// numbering the fault injector uses at run time. Site lists are in trace
+// order (ascending OpID), so the lookup is a binary search instead of the
+// old linear scan per candidate. Records the index skipped (fault
+// bookkeeping, empty sites) keep the old scan's semantics: occurrence 1.
+func occurrence(ix *trace.Index, r *trace.Record) int {
+	ids := ix.BySite[r.Site]
+	i := sort.Search(len(ids), func(k int) bool { return ids[k] >= r.ID })
+	if i < len(ids) && ids[i] == r.ID {
+		return i + 1
 	}
 	return 1
 }
@@ -54,7 +38,7 @@ func DetectRegular(g *hb.Graph, workload string) *RegularResult {
 // DetectRegularOpts is DetectRegular with the pruning analyses toggleable.
 func DetectRegularOpts(g *hb.Graph, workload string, opts Options) *RegularResult {
 	t := g.Ix.T
-	sites := buildSiteIndex(t)
+	ix := g.Ix
 	res := &RegularResult{}
 
 	type group struct {
@@ -109,14 +93,14 @@ func DetectRegularOpts(g *hb.Graph, workload string, opts Options) *RegularResul
 			if wp == nil {
 				continue // the signal is purely local; no fault can remove it
 			}
-			wps := summarize(wp, sites.occurrence(wp))
+			wps := summarize(wp, occurrence(ix, wp))
 			rep := &Report{
 				Type:            CrashRegular,
 				OpsDesc:         "Signal vs Wait",
 				Resource:        resID,
 				ResClass:        normalizeRes(resID),
-				W:               summarize(sig, sites.occurrence(sig)),
-				R:               summarize(w, sites.occurrence(w)),
+				W:               summarize(sig, occurrence(ix, sig)),
+				R:               summarize(w, occurrence(ix, w)),
 				WPrime:          &wps,
 				CrashTargetPID:  wp.PID,
 				CrashTargetRole: roleOf(wp.PID),
@@ -157,14 +141,14 @@ func DetectRegularOpts(g *hb.Graph, workload string, opts Options) *RegularResul
 			if wp == nil {
 				continue
 			}
-			wps := summarize(wp, sites.occurrence(wp))
+			wps := summarize(wp, occurrence(ix, wp))
 			rep := &Report{
 				Type:            CrashRegular,
 				OpsDesc:         "Write vs Loop",
 				Resource:        r.Res,
 				ResClass:        normalizeRes(r.Res),
-				W:               summarize(w, sites.occurrence(w)),
-				R:               summarize(r, sites.occurrence(r)),
+				W:               summarize(w, occurrence(ix, w)),
+				R:               summarize(r, occurrence(ix, r)),
 				WPrime:          &wps,
 				CrashTargetPID:  wp.PID,
 				CrashTargetRole: roleOf(wp.PID),

@@ -6,15 +6,27 @@
 package hb
 
 import (
+	"sync"
+
 	"fcatch/internal/trace"
 )
 
-// Graph wraps a trace index with causality traversals.
+// Graph wraps a trace index with causality traversals. Chain walks are
+// memoized: causor chains share suffixes (each op has at most one causor), so
+// one walk caches the chain of every op along the path. The memo tables are
+// mutex-guarded because the crash-regular and crash-recovery detectors run
+// concurrently over the shared fault-free graph.
 type Graph struct {
 	Ix *trace.Index
+
+	mu       sync.Mutex
+	chains   map[trace.OpID][]trace.OpID // memoized BackwardChain results (lazily allocated)
+	crossAnc map[trace.OpID]trace.OpID   // memoized CrossNodeAncestor (NoOp = no remote ancestor)
 }
 
-// New builds the causality graph for a trace.
+// New builds the causality graph for a trace. The memo tables start nil —
+// graphs used only for closures (like the faulty-run graph in the recovery
+// detector) never pay for them.
 func New(t *trace.Trace) *Graph {
 	return &Graph{Ix: trace.BuildIndex(t)}
 }
@@ -25,17 +37,38 @@ func New(t *trace.Trace) *Graph {
 // the closure contains every op inside activations they (transitively)
 // spawned, including the activation records themselves.
 func (g *Graph) ForwardClosure(seeds []trace.OpID) map[trace.OpID]bool {
-	visited := make(map[trace.OpID]bool)
+	dense := g.ForwardClosureDense(seeds)
 	out := make(map[trace.OpID]bool)
-	work := append([]trace.OpID(nil), seeds...)
+	for id, in := range dense {
+		if in {
+			out[trace.OpID(id)] = true
+		}
+	}
+	return out
+}
+
+// ForwardClosureDense is ForwardClosure as an OpID-indexed membership slice
+// (OpIDs are dense: Records[i].ID == i+1) — the allocation-free form the
+// detectors probe. Index 0 (NoOp) is never set; seeds outside the trace are
+// ignored. Every queued in-range op resolves to a record and lands in the
+// closure (activations via the frame branch, everything else via the final
+// branch; the paper's Algorithm 1 includes the seeds too), so one slice is
+// both the visited set and the result.
+func (g *Graph) ForwardClosureDense(seeds []trace.OpID) []bool {
+	in := make([]bool, len(g.Ix.T.Records)+1)
+	wcap := len(seeds)
+	if wcap < 64 {
+		wcap = 64 // closures are usually tens to hundreds of ops; skip the first growth steps
+	}
+	work := make([]trace.OpID, 0, wcap)
 	push := func(id trace.OpID) {
-		if id != trace.NoOp && !visited[id] {
-			visited[id] = true
+		if id >= 1 && int(id) < len(in) && !in[id] {
+			in[id] = true
 			work = append(work, id)
 		}
 	}
 	for _, s := range seeds {
-		visited[s] = true
+		push(s)
 	}
 	for len(work) > 0 {
 		h := work[len(work)-1]
@@ -46,9 +79,7 @@ func (g *Graph) ForwardClosure(seeds []trace.OpID) map[trace.OpID]bool {
 		}
 		// Ops inside an activation frame causally depend on the frame.
 		if r.Kind.IsActivation() || r.Kind == trace.KKVNotify {
-			out[h] = true
 			for _, op := range g.Ix.FrameOps[h] {
-				out[op] = true
 				push(op)
 			}
 		}
@@ -59,36 +90,62 @@ func (g *Graph) ForwardClosure(seeds []trace.OpID) map[trace.OpID]bool {
 				push(act)
 			}
 		}
-		if !r.Kind.IsActivation() {
-			out[h] = true
-		}
 	}
-	// Seeds themselves are not part of "operations depending on S" unless
-	// reached through another seed; the paper's Algorithm 1 includes them —
-	// keep them for parity.
-	for _, s := range seeds {
-		out[s] = true
-	}
-	return out
+	return in
 }
 
 // BackwardChain is Algorithm 2: the operations a given op causally depends
 // on, nearest first. (Each op has at most one causor, so the closure is a
-// chain.)
+// chain.) Results are memoized; callers must not mutate the returned slice.
 func (g *Graph) BackwardChain(op trace.OpID) []trace.OpID {
-	var out []trace.OpID
-	seen := map[trace.OpID]bool{op: true}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.backwardChainLocked(op)
+}
+
+func (g *Graph) backwardChainLocked(op trace.OpID) []trace.OpID {
+	if c, ok := g.chains[op]; ok {
+		return c
+	}
+	if g.chains == nil {
+		g.chains = make(map[trace.OpID][]trace.OpID)
+	}
+	// Collect the uncached segment of the causor path. Causors strictly
+	// precede their effects in trace order (IDs decrease along the walk), so
+	// requiring a strictly smaller ID both terminates the loop and guards
+	// against a malformed trace — no visited set needed.
+	path := []trace.OpID{op}
+	var tailHead trace.OpID // first cached node below the segment (NoOp: none)
+	var tail []trace.OpID   // that node's cached chain
 	cur := g.Ix.T.At(op)
 	for cur != nil {
 		c := g.Ix.Causor(cur)
-		if c == nil || seen[c.ID] {
+		if c == nil || c.ID >= cur.ID {
 			break
 		}
-		seen[c.ID] = true
-		out = append(out, c.ID)
+		if cached, ok := g.chains[c.ID]; ok {
+			tailHead, tail = c.ID, cached
+			break
+		}
+		path = append(path, c.ID)
 		cur = c
 	}
-	return out
+	// Cache every node on the segment as a sub-slice of one backing array:
+	// chain(path[i]) = path[i+1:] + tailHead + tail = full[i:].
+	n := len(path) - 1 + len(tail)
+	if tailHead != trace.NoOp {
+		n++
+	}
+	full := make([]trace.OpID, 0, n)
+	full = append(full, path[1:]...)
+	if tailHead != trace.NoOp {
+		full = append(full, tailHead)
+	}
+	full = append(full, tail...)
+	for i, id := range path {
+		g.chains[id] = full[i:]
+	}
+	return full
 }
 
 // CrossNodeAncestor walks op's causor chain and returns the nearest ancestor
@@ -101,7 +158,15 @@ func (g *Graph) CrossNodeAncestor(op trace.OpID) *trace.Record {
 	if r == nil {
 		return nil
 	}
-	for _, anc := range g.BackwardChain(op) {
+	g.mu.Lock()
+	if id, ok := g.crossAnc[op]; ok {
+		g.mu.Unlock()
+		return g.Ix.T.At(id) // At(NoOp) is nil: cached "no remote ancestor"
+	}
+	chain := g.backwardChainLocked(op)
+	g.mu.Unlock()
+	var found *trace.Record
+	for _, anc := range chain {
 		ar := g.Ix.T.At(anc)
 		if ar == nil {
 			continue
@@ -112,10 +177,21 @@ func (g *Graph) CrossNodeAncestor(op trace.OpID) *trace.Record {
 			continue
 		}
 		if ar.PID != r.PID && ar.PID != "system" {
-			return ar
+			found = ar
+			break
 		}
 	}
-	return nil
+	id := trace.NoOp
+	if found != nil {
+		id = found.ID
+	}
+	g.mu.Lock()
+	if g.crossAnc == nil {
+		g.crossAnc = make(map[trace.OpID]trace.OpID)
+	}
+	g.crossAnc[op] = id
+	g.mu.Unlock()
+	return found
 }
 
 // LogicallyFrom reports whether op causally comes from process pid — it

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"fcatch/internal/core"
+	"fcatch/internal/parallel"
 	"fcatch/internal/sim"
 )
 
@@ -45,8 +46,17 @@ func (r *RandomResult) Signatures() []string {
 // workload's crash target at a random step (with operator restarts enabled,
 // as in production), and reports which failures surfaced. This is the state
 // of practice FCatch is compared against: bug-triggering windows are small,
-// so most injections land harmlessly.
+// so most injections land harmlessly. Runs fan out across every core; see
+// RandomCampaignP to bound or disable the parallelism.
 func RandomCampaign(w core.Workload, runs int, seed int64) (*RandomResult, error) {
+	return RandomCampaignP(w, runs, seed, 0)
+}
+
+// RandomCampaignP is RandomCampaign with an explicit parallelism bound
+// (0 = GOMAXPROCS, 1 = sequential). Every crash step is drawn from the seeded
+// RNG before any run starts, and per-run verdicts are merged in run order, so
+// the campaign's counts are identical at any parallelism.
+func RandomCampaignP(w core.Workload, runs int, seed int64, parallelism int) (*RandomResult, error) {
 	// Measure the fault-free execution length once.
 	cfg := sim.Config{Seed: seed, Tracing: sim.TraceOff}
 	w.Tune(&cfg)
@@ -57,11 +67,16 @@ func RandomCampaign(w core.Workload, runs int, seed int64) (*RandomResult, error
 		return nil, fmt.Errorf("inject: fault-free run of %s incorrect: %w", w.Name(), err)
 	}
 
-	res := &RandomResult{Workload: w.Name(), Runs: runs, Failures: map[string]int{}}
 	rng := rand.New(rand.NewSource(seed * 7919))
-	for i := 0; i < runs; i++ {
-		step := 1 + rng.Int63n(base.Steps)
-		plan := sim.NewObservationPlan(w.CrashTarget(), step, w.RestartRoles())
+	steps := make([]int64, runs)
+	for i := range steps {
+		steps[i] = 1 + rng.Int63n(base.Steps)
+	}
+
+	// Each injection run is fully isolated in its own cluster; the
+	// signature (or "" for a tolerated fault) comes back in the run's slot.
+	sigs := parallel.Map(parallelism, runs, func(i int) string {
+		plan := sim.NewObservationPlan(w.CrashTarget(), steps[i], w.RestartRoles())
 		rcfg := sim.Config{Seed: seed, Tracing: sim.TraceOff, Plan: plan}
 		w.Tune(&rcfg)
 		rc := sim.NewCluster(rcfg)
@@ -69,11 +84,18 @@ func RandomCampaign(w core.Workload, runs int, seed int64) (*RandomResult, error
 		out := rc.Run()
 		checkErr := w.Check(rc, out)
 		if !out.Completed || len(out.FatalLogs) > 0 || len(out.UncaughtExceptions) > 0 || checkErr != nil {
-			sig := failureSignature(out, checkErr)
-			if !expectedSig(w, sig) {
-				res.FailureRuns++
-				res.Failures[sig]++
+			if sig := failureSignature(out, checkErr); !expectedSig(w, sig) {
+				return sig
 			}
+		}
+		return ""
+	})
+
+	res := &RandomResult{Workload: w.Name(), Runs: runs, Failures: map[string]int{}}
+	for _, sig := range sigs {
+		if sig != "" {
+			res.FailureRuns++
+			res.Failures[sig]++
 		}
 	}
 	return res, nil

@@ -8,6 +8,7 @@ import (
 
 	"fcatch/internal/core"
 	"fcatch/internal/detect"
+	"fcatch/internal/parallel"
 	"fcatch/internal/sim"
 	"fcatch/internal/trace"
 )
@@ -53,6 +54,11 @@ type Outcome struct {
 type Triggerer struct {
 	W    core.Workload
 	Seed int64
+	// Parallelism bounds how many reports TriggerAll replays concurrently
+	// (0 = GOMAXPROCS, 1 = sequential). Every replay builds its own
+	// cluster, and outcomes land in per-report slots, so the result is
+	// identical at any setting.
+	Parallelism int
 }
 
 // NewTriggerer builds a triggerer for one workload/seed (use the same seed
@@ -212,11 +218,10 @@ func (tg *Triggerer) isExpected(detail string) bool {
 	return false
 }
 
-// TriggerAll classifies every report and returns outcomes in report order.
+// TriggerAll classifies every report and returns outcomes in report order,
+// replaying up to tg.Parallelism reports concurrently.
 func (tg *Triggerer) TriggerAll(reports []*detect.Report) []*Outcome {
-	outs := make([]*Outcome, 0, len(reports))
-	for _, r := range reports {
-		outs = append(outs, tg.Trigger(r))
-	}
-	return outs
+	return parallel.Map(tg.Parallelism, len(reports), func(i int) *Outcome {
+		return tg.Trigger(reports[i])
+	})
 }

@@ -1,0 +1,106 @@
+// Package parallel provides the bounded fan-out primitive used across the
+// FCatch pipeline: evaluation runs the six Table 1 workloads concurrently,
+// the triggering module replays reports concurrently, and the random
+// fault-injection baseline fans its campaign runs across cores. Every unit of
+// work builds its own sim.Cluster, so isolation is structural; determinism is
+// preserved because each index writes into its own pre-allocated result slot
+// and callers consume the slots in index order — the schedule never leaks
+// into the output.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve normalizes a Parallelism knob: values <= 0 mean "use every core"
+// (GOMAXPROCS), anything else is taken literally.
+func Resolve(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most `workers` goroutines
+// (after Resolve). With one worker — or one unit of work — it runs inline on
+// the caller's goroutine, making the sequential path literally the same code
+// path the parity tests compare against. Work is handed out by an atomic
+// cursor, so workers stay busy regardless of per-item skew. A panic in fn is
+// re-raised on the caller after all workers drain.
+func ForEach(workers, n int, fn func(i int)) {
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		cursor    atomic.Int64
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicVal  any
+		panicked  atomic.Bool
+	)
+	run := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicOnce.Do(func() {
+					panicVal = r
+					panicked.Store(true)
+				})
+			}
+		}()
+		fn(i)
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal)
+	}
+}
+
+// Map runs fn over [0, n) with ForEach's scheduling and returns the results
+// in index order — the deterministic-collection contract in one call.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(workers, n, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}
+
+// MapErr is Map for fallible work. Every unit still runs (workers do not
+// short-circuit — aborting mid-campaign would make partial results depend on
+// scheduling); the returned error is the lowest-index failure, so the error a
+// caller sees is the same one the sequential loop would have hit first.
+func MapErr[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	ForEach(workers, n, func(i int) {
+		out[i], errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

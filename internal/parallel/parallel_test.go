@@ -1,0 +1,105 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(0) = %d, want GOMAXPROCS (%d)", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Resolve(5); got != 5 {
+		t.Fatalf("Resolve(5) = %d", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 257
+		var counts [n]atomic.Int32
+		ForEach(workers, n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	ran := false
+	ForEach(4, 0, func(int) { ran = true })
+	if ran {
+		t.Fatal("fn ran with n=0")
+	}
+}
+
+func TestMapIsOrderDeterministic(t *testing.T) {
+	want := Map(1, 100, func(i int) int { return i * i })
+	for _, workers := range []int{2, 7, 16} {
+		got := Map(workers, 100, func(i int) int { return i * i })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapErrReturnsLowestIndexError(t *testing.T) {
+	// Errors at 30 and 10: the sequential path would hit 10 first; the
+	// parallel path must report the same one regardless of schedule.
+	for _, workers := range []int{1, 4} {
+		_, err := MapErr(workers, 50, func(i int) (int, error) {
+			if i == 30 || i == 10 {
+				return 0, fmt.Errorf("fail at %d", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "fail at 10" {
+			t.Fatalf("workers=%d: err = %v, want fail at 10", workers, err)
+		}
+	}
+}
+
+func TestMapErrRunsEverything(t *testing.T) {
+	var ran atomic.Int32
+	boom := errors.New("boom")
+	_, err := MapErr(4, 40, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() != 40 {
+		t.Fatalf("ran %d/40 units despite early error", ran.Load())
+	}
+}
+
+func TestForEachPropagatesPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("workers=%d: panic not propagated", workers)
+				}
+			}()
+			ForEach(workers, 10, func(i int) {
+				if i == 3 {
+					panic("kaboom")
+				}
+			})
+		}()
+	}
+}

@@ -61,9 +61,7 @@ func (tr *tracer) emit(t *Thread, r trace.Record) trace.OpID {
 	tr.c.clock += tr.c.cfg.TraceTickCost
 	id := tr.trace.Append(r)
 	if r.Kind == trace.KThreadStart {
-		if !tr.trace.HasPID(r.PID) {
-			tr.trace.PIDs = append(tr.trace.PIDs, r.PID)
-		}
+		tr.trace.AddPID(r.PID)
 	}
 	return id
 }

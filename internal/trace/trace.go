@@ -1,7 +1,7 @@
 package trace
 
 import (
-	"sort"
+	"sync"
 )
 
 // Trace is the full record stream of one observed run, plus run-level
@@ -22,6 +22,13 @@ type Trace struct {
 
 	// Wall-clock durations, filled by the observer (Table 4).
 	BaselineNanos int64 // run duration with this trace's tracing mode
+
+	// pidSet is the membership index behind HasPID/AddPID, built lazily (a
+	// loaded trace has PIDs but no set) and kept in sync by AddPID. Guarded
+	// by a mutex because the two detectors may query one trace concurrently.
+	// (Unexported, so gob/json round trips ignore it and rebuild on demand.)
+	pidMu  sync.Mutex
+	pidSet map[string]bool
 }
 
 // New returns an empty trace for a fault-free run.
@@ -47,14 +54,64 @@ func (t *Trace) At(id OpID) *Record {
 // Len returns the number of records.
 func (t *Trace) Len() int { return len(t.Records) }
 
-// HasPID reports whether pid appeared in the run.
+// pidSetThreshold is the PIDs length past which membership switches from a
+// linear scan to the lazily-built set. Simulated clusters run a handful of
+// processes, so the common case stays allocation-free.
+const pidSetThreshold = 16
+
+// ensurePIDSetLocked builds the membership index from PIDs once the list is
+// large enough to beat a scan (pidMu must be held). Reports whether the set
+// is available.
+func (t *Trace) ensurePIDSetLocked() bool {
+	if t.pidSet != nil {
+		return true
+	}
+	if len(t.PIDs) < pidSetThreshold {
+		return false
+	}
+	t.pidSet = make(map[string]bool, len(t.PIDs))
+	for _, p := range t.PIDs {
+		t.pidSet[p] = true
+	}
+	return true
+}
+
+// HasPID reports whether pid appeared in the run. Membership is a set probe
+// for large runs — the tracer checks every thread start against it, and the
+// crash-recovery detector probes every faulty-run PID against the fault-free
+// trace, both linear scans over PIDs before.
 func (t *Trace) HasPID(pid string) bool {
+	t.pidMu.Lock()
+	defer t.pidMu.Unlock()
+	if t.ensurePIDSetLocked() {
+		return t.pidSet[pid]
+	}
 	for _, p := range t.PIDs {
 		if p == pid {
 			return true
 		}
 	}
 	return false
+}
+
+// AddPID records pid in start order, once — the tracer calls it on every
+// thread start, keeping PIDs and the membership index in sync.
+func (t *Trace) AddPID(pid string) {
+	t.pidMu.Lock()
+	defer t.pidMu.Unlock()
+	if t.ensurePIDSetLocked() {
+		if t.pidSet[pid] {
+			return
+		}
+		t.pidSet[pid] = true
+	} else {
+		for _, p := range t.PIDs {
+			if p == pid {
+				return
+			}
+		}
+	}
+	t.PIDs = append(t.PIDs, pid)
 }
 
 // Index holds the derived lookups shared by the happens-before analysis and
@@ -67,6 +124,11 @@ type Index struct {
 
 	// ByRes groups record IDs by resource ID, in trace order.
 	ByRes map[string][]OpID
+
+	// BySite groups injector-countable record IDs by static site, in trace
+	// order — the occurrence numbering the fault injector uses at run time.
+	// Crash/restart bookkeeping records are excluded.
+	BySite map[string][]OpID
 
 	// Causees maps a causal op to the activation records it spawned
 	// (thread starts, handler begins, KV notifies).
@@ -86,6 +148,7 @@ func BuildIndex(t *Trace) *Index {
 		T:           t,
 		ByKind:      make(map[Kind][]OpID),
 		ByRes:       make(map[string][]OpID),
+		BySite:      make(map[string][]OpID),
 		Causees:     make(map[OpID][]OpID),
 		FrameOps:    make(map[OpID][]OpID),
 		ThreadStart: make(map[int]OpID),
@@ -95,6 +158,11 @@ func BuildIndex(t *Trace) *Index {
 		ix.ByKind[r.Kind] = append(ix.ByKind[r.Kind], r.ID)
 		if r.Res != "" {
 			ix.ByRes[r.Res] = append(ix.ByRes[r.Res], r.ID)
+		}
+		// Fault bookkeeping records reuse the trigger's site; they are not
+		// operations the injector counts, so they stay out of BySite.
+		if r.Site != "" && r.Kind != KCrash && r.Kind != KRestart {
+			ix.BySite[r.Site] = append(ix.BySite[r.Site], r.ID)
 		}
 		if r.Kind.IsActivation() || r.Kind == KKVNotify {
 			if r.Causor != NoOp {
@@ -131,13 +199,38 @@ func (ix *Index) Causor(op *Record) *Record {
 	return ix.T.At(act.Causor)
 }
 
-// OpsOfKinds returns all record IDs of the given kinds, merged in trace order.
+// OpsOfKinds returns all record IDs of the given kinds, merged in trace
+// order. The per-kind slices are already ordered (BuildIndex appends in trace
+// order), so this is a k-way merge rather than a sort.
 func (ix *Index) OpsOfKinds(kinds ...Kind) []OpID {
-	var out []OpID
+	lists := make([][]OpID, 0, len(kinds))
+	total := 0
 	for _, k := range kinds {
-		out = append(out, ix.ByKind[k]...)
+		if ids := ix.ByKind[k]; len(ids) > 0 {
+			lists = append(lists, ids)
+			total += len(ids)
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return append([]OpID(nil), lists[0]...)
+	}
+	out := make([]OpID, 0, total)
+	for len(lists) > 0 {
+		min := 0
+		for i := 1; i < len(lists); i++ {
+			if lists[i][0] < lists[min][0] {
+				min = i
+			}
+		}
+		out = append(out, lists[min][0])
+		if lists[min] = lists[min][1:]; len(lists[min]) == 0 {
+			lists[min] = lists[len(lists)-1]
+			lists = lists[:len(lists)-1]
+		}
+	}
 	return out
 }
 

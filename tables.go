@@ -9,6 +9,7 @@ import (
 	"fcatch/internal/core"
 	"fcatch/internal/detect"
 	"fcatch/internal/inject"
+	"fcatch/internal/parallel"
 	"fcatch/internal/sim"
 )
 
@@ -24,20 +25,37 @@ type EvalRun struct {
 // RunEvaluation reproduces the paper's end-to-end evaluation: for each of
 // the six workloads, observe the correct-run pair, detect, and trigger every
 // report. Pass MeasureBaseline to also collect the Table 4 timings.
+//
+// The per-workload passes fan out across opts.Parallelism workers (0 =
+// GOMAXPROCS); each pass runs in its own simulated cluster, and results are
+// collected in Table 1 order, so every table and report list is byte-
+// identical to the sequential run.
 func RunEvaluation(opts Options) (*EvalRun, error) {
+	ws := Workloads()
+	type pass struct {
+		res  *Result
+		outs []*TriggerOutcome
+	}
+	passes, err := parallel.MapErr(opts.Parallelism, len(ws), func(i int) (pass, error) {
+		w := ws[i]
+		res, err := Detect(w, opts)
+		if err != nil {
+			return pass{}, fmt.Errorf("fcatch: %s: %w", w.Name(), err)
+		}
+		return pass{res: res, outs: Trigger(w, res)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	e := &EvalRun{
 		Opts:     opts,
 		Results:  make(map[string]*Result),
 		Outcomes: make(map[string][]*TriggerOutcome),
 	}
-	for _, w := range Workloads() {
-		res, err := Detect(w, opts)
-		if err != nil {
-			return nil, fmt.Errorf("fcatch: %s: %w", w.Name(), err)
-		}
+	for i, w := range ws {
 		e.Order = append(e.Order, w.Name())
-		e.Results[w.Name()] = res
-		e.Outcomes[w.Name()] = Trigger(w, res)
+		e.Results[w.Name()] = passes[i].res
+		e.Outcomes[w.Name()] = passes[i].outs
 	}
 	return e, nil
 }
@@ -278,29 +296,44 @@ type SensitivityResult struct {
 }
 
 // Sensitivity runs detection with the observation crash at the beginning,
-// middle and end of the execution (Section 8.1.2).
+// middle and end of the execution (Section 8.1.2). All phase×workload
+// detection passes fan out together; the per-phase bug sets are unions, so
+// collection order cannot change them.
 func Sensitivity(seed int64) (*SensitivityResult, error) {
+	phases := []Phase{PhaseBegin, PhaseMiddle, PhaseEnd}
+	ws := Workloads()
+	ids, err := parallel.MapErr(0, len(phases)*len(ws), func(i int) ([]string, error) {
+		phase, w := phases[i/len(ws)], ws[i%len(ws)]
+		opts := core.Options{Seed: seed, Phase: phase, Tracing: sim.TraceSelective}
+		res, err := Detect(w, opts)
+		if err != nil {
+			return nil, fmt.Errorf("fcatch: sensitivity %s/%s: %w", w.Name(), phase, err)
+		}
+		var found []string
+		for _, r := range res.Reports {
+			if s := MatchReport(w.Name(), r); s != nil {
+				found = append(found, s.ID)
+			}
+		}
+		return found, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := &SensitivityResult{BugsByPhase: map[string][]string{}}
-	for _, phase := range []Phase{PhaseBegin, PhaseMiddle, PhaseEnd} {
+	for pi, phase := range phases {
 		found := map[string]bool{}
-		for _, w := range Workloads() {
-			opts := core.Options{Seed: seed, Phase: phase, Tracing: sim.TraceSelective}
-			res, err := Detect(w, opts)
-			if err != nil {
-				return nil, fmt.Errorf("fcatch: sensitivity %s/%s: %w", w.Name(), phase, err)
-			}
-			for _, r := range res.Reports {
-				if s := MatchReport(w.Name(), r); s != nil {
-					found[s.ID] = true
-				}
+		for wi := range ws {
+			for _, id := range ids[pi*len(ws)+wi] {
+				found[id] = true
 			}
 		}
-		ids := make([]string, 0, len(found))
+		sorted := make([]string, 0, len(found))
 		for id := range found {
-			ids = append(ids, id)
+			sorted = append(sorted, id)
 		}
-		sort.Strings(ids)
-		out.BugsByPhase[phase.String()] = ids
+		sort.Strings(sorted)
+		out.BugsByPhase[phase.String()] = sorted
 	}
 	return out, nil
 }
@@ -320,10 +353,12 @@ type AblationRow struct {
 	ExhaustiveNote  string
 }
 
-// AblationTraceAll runs every workload fault-free under both tracing modes.
+// AblationTraceAll runs every workload fault-free under both tracing modes,
+// fanning the workloads across cores (rows come back in Table 1 order).
 func AblationTraceAll(seed int64) []AblationRow {
-	var rows []AblationRow
-	for _, w := range Workloads() {
+	ws := Workloads()
+	return parallel.Map(0, len(ws), func(i int) AblationRow {
+		w := ws[i]
 		row := AblationRow{Workload: w.Name()}
 		for _, mode := range []sim.TracingMode{sim.TraceSelective, sim.TraceExhaustive} {
 			cost := int64(1)
@@ -351,9 +386,8 @@ func AblationTraceAll(seed int64) []AblationRow {
 				}
 			}
 		}
-		rows = append(rows, row)
-	}
-	return rows
+		return row
+	})
 }
 
 // --- Section 8.4: the fault-type trigger matrix. ---
