@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-json eval random examples clean
+.PHONY: all build vet test race check bench bench-json eval random campaign examples clean
 
 all: build test
 
@@ -36,6 +36,10 @@ eval:
 # The Section 8.3 baseline at full scale.
 random:
 	$(GO) run ./cmd/randinject -runs 400
+
+# The §8.3-extended campaign strategy comparison at full scale.
+campaign:
+	$(GO) run ./cmd/fcatch-bench -campaign -runs 400
 
 examples:
 	$(GO) run ./examples/quickstart

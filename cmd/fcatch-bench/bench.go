@@ -118,6 +118,16 @@ func runBenchSuite(seed int64) []benchEntry {
 		}
 	})
 
+	measure("campaign/TOY/coverage-guided/runs=40", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := fcatch.CampaignConfig{Strategy: fcatch.StrategyCoverage, Seed: seed, Budget: 40}
+			if _, err := fcatch.Campaign(fcatch.MustWorkload("TOY"), cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
 	return out
 }
 

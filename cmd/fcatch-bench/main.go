@@ -6,6 +6,7 @@
 //	fcatch-bench -sensitivity         # §8.1.2 crash-point sensitivity
 //	fcatch-bench -ablation            # §8.2 exhaustive-tracing ablation
 //	fcatch-bench -randinject [-runs N]# §8.3 random-injection baseline
+//	fcatch-bench -campaign [-runs N]  # §8.3 extended: campaign strategy comparison
 //	fcatch-bench -triggering          # §8.4 fault-type matrix
 //	fcatch-bench -json out.json       # machine-readable perf suite (BENCH_*.json)
 //
@@ -30,6 +31,7 @@ func main() {
 	ablation := flag.Bool("ablation", false, "exhaustive-tracing ablation (§8.2)")
 	pruning := flag.Bool("pruning", false, "pruning-analysis ablation (§8.4)")
 	randinject := flag.Bool("randinject", false, "random fault-injection baseline (§8.3)")
+	campaignCmp := flag.Bool("campaign", false, "campaign strategy comparison (§8.3 extended: random vs exhaustive vs coverage-guided vs FCatch)")
 	triggering := flag.Bool("triggering", false, "fault-type trigger matrix (§8.4)")
 	runs := flag.Int("runs", 400, "runs per workload for -randinject")
 	seed := flag.Int64("seed", 1, "deterministic scheduler seed")
@@ -108,10 +110,19 @@ func main() {
 		}
 		fmt.Println(fcatch.RenderRandom(results))
 	}
+	if *all || *campaignCmp {
+		fmt.Fprintln(os.Stderr, "fcatch-bench: comparing campaign strategies on all six workloads...")
+		rows, err := fcatch.CompareStrategies(fcatch.Workloads(), *runs, *seed, *parallelism)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fcatch-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(fcatch.RenderStrategyComparison(rows, *runs))
+	}
 	if *all || *triggering {
 		fmt.Println(eval.RenderTriggerMatrix())
 	}
-	if !*all && *table == 0 && !*sensitivity && !*ablation && !*pruning && !*randinject && !*triggering {
+	if !*all && *table == 0 && !*sensitivity && !*ablation && !*pruning && !*randinject && !*campaignCmp && !*triggering {
 		flag.Usage()
 	}
 }

@@ -1,0 +1,134 @@
+// Command fcatch-campaign drives the coverage-guided fault-injection
+// campaign engine: explore a workload's fault space with a search strategy,
+// persist the corpus, resume it later, diff two campaigns, or render the
+// strategy-comparison table (the extended Section 8.3 experiment).
+//
+//	fcatch-campaign -workload MR1 -strategy coverage-guided -runs 400
+//	fcatch-campaign -workload MR1 -runs 400 -corpus mr1.json   # save corpus
+//	fcatch-campaign -resume mr1.json -runs 800                 # continue it
+//	fcatch-campaign -diff a.json -diff2 b.json                 # compare finds
+//	fcatch-campaign -compare -runs 400                         # all workloads × all strategies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fcatch"
+)
+
+func main() {
+	workload := flag.String("workload", "", "one workload (default with -compare: all six)")
+	strategy := flag.String("strategy", fcatch.StrategyCoverage, "search strategy: random | exhaustive-site | coverage-guided")
+	runs := flag.Int("runs", 400, "run budget (total, including a resumed prefix)")
+	seed := flag.Int64("seed", 1, "deterministic base seed")
+	parallelism := flag.Int("parallelism", 0, "concurrent injection runs (0 = GOMAXPROCS, 1 = sequential)")
+	batch := flag.Int("batch", 0, "max runs between strategy re-weightings (0 = strategy default)")
+	corpus := flag.String("corpus", "", "save the campaign corpus to this JSON file")
+	resume := flag.String("resume", "", "resume the campaign recorded in this corpus file")
+	compare := flag.Bool("compare", false, "render the strategy-comparison table instead of one campaign")
+	diffA := flag.String("diff", "", "diff mode: first corpus file")
+	diffB := flag.String("diff2", "", "diff mode: second corpus file")
+	flag.Parse()
+
+	switch {
+	case *diffA != "" || *diffB != "":
+		if *diffA == "" || *diffB == "" {
+			fatal(fmt.Errorf("-diff and -diff2 must both be given"))
+		}
+		runDiff(*diffA, *diffB)
+
+	case *compare:
+		runCompare(*workload, *runs, *seed, *parallelism)
+
+	default:
+		runCampaign(*workload, *strategy, *runs, *seed, *parallelism, *batch, *corpus, *resume)
+	}
+}
+
+func runCampaign(workload, strategy string, runs int, seed int64, parallelism, batch int, corpusOut, resume string) {
+	var prior *fcatch.CampaignCorpus
+	if resume != "" {
+		var err error
+		if prior, err = fcatch.LoadCampaignCorpus(resume); err != nil {
+			fatal(err)
+		}
+		// The corpus pins the campaign identity; flags only extend the budget.
+		workload, strategy, seed = prior.Workload, prior.Strategy, prior.Seed
+		fmt.Fprintf(os.Stderr, "fcatch-campaign: resuming %s/%s (seed %d) from %d cached run(s)\n",
+			workload, strategy, seed, len(prior.Entries))
+	}
+	if workload == "" {
+		fatal(fmt.Errorf("-workload is required (or -resume / -compare); see `fcatch list`"))
+	}
+	w, err := fcatch.ByName(workload)
+	if err != nil {
+		fatal(err)
+	}
+
+	res, err := fcatch.ResumeCampaign(w, fcatch.CampaignConfig{
+		Strategy:    strategy,
+		Seed:        seed,
+		Budget:      runs,
+		Parallelism: parallelism,
+		BatchSize:   batch,
+	}, prior)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(fcatch.RenderCampaign(res))
+
+	if corpusOut != "" {
+		if err := res.Corpus.Save(corpusOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "fcatch-campaign: saved corpus (%d runs) to %s\n", res.Runs, corpusOut)
+	}
+}
+
+func runCompare(workload string, runs int, seed int64, parallelism int) {
+	targets := fcatch.Workloads()
+	if workload != "" {
+		w, err := fcatch.ByName(workload)
+		if err != nil {
+			fatal(err)
+		}
+		targets = []fcatch.Workload{w}
+	}
+	fmt.Fprintf(os.Stderr, "fcatch-campaign: comparing %d strategies + fcatch-directed on %d workload(s), %d runs each...\n",
+		3, len(targets), runs)
+	rows, err := fcatch.CompareStrategies(targets, runs, seed, parallelism)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(fcatch.RenderStrategyComparison(rows, runs))
+}
+
+func runDiff(pathA, pathB string) {
+	a, err := fcatch.LoadCampaignCorpus(pathA)
+	if err != nil {
+		fatal(err)
+	}
+	b, err := fcatch.LoadCampaignCorpus(pathB)
+	if err != nil {
+		fatal(err)
+	}
+	d := fcatch.DiffCampaigns(a, b)
+	fmt.Printf("A = %s (%s/%s seed %d, %d runs)\n", pathA, a.Workload, a.Strategy, a.Seed, len(a.Entries))
+	fmt.Printf("B = %s (%s/%s seed %d, %d runs)\n", pathB, b.Workload, b.Strategy, b.Seed, len(b.Entries))
+	section := func(label string, sigs []string) {
+		fmt.Printf("%s (%d):\n", label, len(sigs))
+		for _, s := range sigs {
+			fmt.Printf("  %s\n", s)
+		}
+	}
+	section("only in A", d.OnlyA)
+	section("only in B", d.OnlyB)
+	section("shared", d.Shared)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fcatch-campaign:", err)
+	os.Exit(1)
+}

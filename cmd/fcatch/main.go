@@ -30,7 +30,7 @@ commands:
   trace     observe and save the correct-run trace pair to disk
   grep      observe, then print trace records matching filters
 
-common flags: -workload <name> -seed <n> -phase begin|middle|end
+common flags: -workload <name> -seed <n> -phase begin|middle|end -parallelism <n>
 `)
 	os.Exit(2)
 }
@@ -51,6 +51,7 @@ func main() {
 	res := fs.String("res", "", "grep: resource substring filter")
 	pid := fs.String("pid", "", "grep: process filter (exact, or prefix with trailing *)")
 	faulty := fs.Bool("faulty", false, "grep: search the faulty run instead of the fault-free one")
+	parallelism := fs.Int("parallelism", 0, "worker bound for detect/trigger/random (0 = GOMAXPROCS, 1 = sequential; results identical at any setting)")
 	_ = fs.Parse(os.Args[2:])
 
 	if cmd == "repro" {
@@ -61,7 +62,7 @@ func main() {
 		if id == "" {
 			fatal(fmt.Errorf("repro needs -bug <ID>; known bugs: CA1..CA3, HB1..HB6, MR1..MR5, ZK"))
 		}
-		rep, err := fcatch.Reproduce(id, core.Options{Seed: *seed, Tracing: sim.TraceSelective})
+		rep, err := fcatch.Reproduce(id, core.Options{Seed: *seed, Tracing: sim.TraceSelective, Parallelism: *parallelism})
 		if err != nil {
 			fatal(err)
 		}
@@ -78,7 +79,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := core.Options{Seed: *seed, Tracing: sim.TraceSelective}
+	opts := core.Options{Seed: *seed, Tracing: sim.TraceSelective, Parallelism: *parallelism}
 	switch *phase {
 	case "begin":
 		opts.Phase = fcatch.PhaseBegin
@@ -119,7 +120,7 @@ func main() {
 		}
 
 	case "random":
-		res, err := fcatch.RandomInjection(w, *runs, *seed)
+		res, err := fcatch.RandomInjectionP(w, *runs, *seed, *parallelism)
 		if err != nil {
 			fatal(err)
 		}

@@ -18,6 +18,7 @@ func main() {
 	workload := flag.String("workload", "", "one workload (default: all six)")
 	runs := flag.Int("runs", 400, "injection runs per workload")
 	seed := flag.Int64("seed", 1, "deterministic base seed")
+	parallelism := flag.Int("parallelism", 0, "concurrent runs (0 = GOMAXPROCS, 1 = sequential; results identical at any setting)")
 	flag.Parse()
 
 	var targets []fcatch.Workload
@@ -35,7 +36,7 @@ func main() {
 	var results []*fcatch.RandomResult
 	for _, w := range targets {
 		fmt.Fprintf(os.Stderr, "randinject: %s, %d runs...\n", w.Name(), *runs)
-		r, err := fcatch.RandomInjection(w, *runs, *seed)
+		r, err := fcatch.RandomInjectionP(w, *runs, *seed, *parallelism)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "randinject:", err)
 			os.Exit(1)

@@ -1,0 +1,148 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// RunResult is the outcome of executing one plan.
+type RunResult struct {
+	Plan    Plan      `json:"plan"`
+	Sig     Signature `json:"signature"`
+	Verdict string    `json:"verdict"`
+	// Novel is set by the engine when the behavior key had not been seen by
+	// any earlier run of the campaign (in run order).
+	Novel bool `json:"novel,omitempty"`
+}
+
+// Entry is one corpus line: what was injected, what happened, whether it was
+// new.
+type Entry struct {
+	Index   int       `json:"index"`
+	Plan    Plan      `json:"plan"`
+	Sig     Signature `json:"signature"`
+	Verdict string    `json:"verdict"`
+	Novel   bool      `json:"novel,omitempty"`
+}
+
+// Corpus is the persistent record of a campaign: every (plan, signature,
+// verdict) in run order, plus the campaign's identity. Saving and reloading
+// it lets a campaign stop, resume (the engine replays the cached prefix
+// instead of re-running it), and be diffed against another campaign.
+type Corpus struct {
+	Workload string  `json:"workload"`
+	Strategy string  `json:"strategy"`
+	Seed     int64   `json:"seed"`
+	Entries  []Entry `json:"entries"`
+
+	seenBehavior map[string]bool
+}
+
+// NewCorpus returns an empty corpus for one campaign identity.
+func NewCorpus(workload, strategy string, seed int64) *Corpus {
+	return &Corpus{Workload: workload, Strategy: strategy, Seed: seed,
+		seenBehavior: map[string]bool{}}
+}
+
+// add appends a run in order, stamping novelty against the behaviors seen so
+// far, and returns whether the behavior was novel.
+func (c *Corpus) add(r RunResult) bool {
+	if c.seenBehavior == nil {
+		c.rebuild()
+	}
+	key := r.Sig.BehaviorKey()
+	novel := !c.seenBehavior[key]
+	c.seenBehavior[key] = true
+	c.Entries = append(c.Entries, Entry{
+		Index: len(c.Entries), Plan: r.Plan, Sig: r.Sig, Verdict: r.Verdict, Novel: novel,
+	})
+	return novel
+}
+
+func (c *Corpus) rebuild() {
+	c.seenBehavior = make(map[string]bool, len(c.Entries))
+	for _, e := range c.Entries {
+		c.seenBehavior[e.Sig.BehaviorKey()] = true
+	}
+}
+
+// DistinctFailures counts runs per failure symptom, excluding expected
+// reactions — the strategy-comparison metric, measured identically for every
+// strategy.
+func (c *Corpus) DistinctFailures() map[string]int {
+	out := map[string]int{}
+	for _, e := range c.Entries {
+		if e.Verdict == VerdictFailure {
+			out[e.Sig.Symptom]++
+		}
+	}
+	return out
+}
+
+// NovelBehaviors counts entries whose behavior key was unseen when they ran.
+func (c *Corpus) NovelBehaviors() int {
+	n := 0
+	for _, e := range c.Entries {
+		if e.Novel {
+			n++
+		}
+	}
+	return n
+}
+
+// Save writes the corpus as indented JSON.
+func (c *Corpus) Save(path string) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadCorpus reads a corpus written by Save.
+func LoadCorpus(path string) (*Corpus, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	c := &Corpus{}
+	if err := json.Unmarshal(data, c); err != nil {
+		return nil, fmt.Errorf("campaign: corpus %s: %w", path, err)
+	}
+	c.rebuild()
+	return c, nil
+}
+
+// Diff describes how two campaigns' findings differ.
+type Diff struct {
+	// OnlyA / OnlyB are failure symptoms found by exactly one campaign,
+	// sorted.
+	OnlyA []string
+	OnlyB []string
+	// Shared are symptoms both found, sorted.
+	Shared []string
+}
+
+// DiffCorpora compares the distinct failure symptoms of two campaigns.
+func DiffCorpora(a, b *Corpus) Diff {
+	fa, fb := a.DistinctFailures(), b.DistinctFailures()
+	var d Diff
+	for s := range fa {
+		if _, ok := fb[s]; ok {
+			d.Shared = append(d.Shared, s)
+		} else {
+			d.OnlyA = append(d.OnlyA, s)
+		}
+	}
+	for s := range fb {
+		if _, ok := fa[s]; !ok {
+			d.OnlyB = append(d.OnlyB, s)
+		}
+	}
+	sort.Strings(d.OnlyA)
+	sort.Strings(d.OnlyB)
+	sort.Strings(d.Shared)
+	return d
+}

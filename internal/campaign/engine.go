@@ -1,0 +1,199 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+
+	"fcatch/internal/core"
+	"fcatch/internal/parallel"
+	"fcatch/internal/sim"
+)
+
+// Config parameterizes one campaign.
+type Config struct {
+	// Strategy selects the search strategy ("" = coverage-guided).
+	Strategy string
+	// Seed is the deterministic seed shared by the simulator and the
+	// strategy's own RNG.
+	Seed int64
+	// Budget is the total number of injection runs (including any resumed
+	// prefix). A non-positive budget runs nothing beyond the fault-free
+	// preparation.
+	Budget int
+	// Parallelism bounds how many injection runs execute concurrently
+	// (0 = GOMAXPROCS, 1 = sequential). The corpus is identical at any
+	// setting: batches are fixed before they run and merged in run order.
+	Parallelism int
+	// BatchSize caps how many plans run between strategy re-weightings
+	// (0 = let the strategy choose; the random and exhaustive strategies
+	// take everything, coverage-guided works in rounds).
+	BatchSize int
+	// MaxOccurrence caps per-site occurrences in the fault space (0 = 3).
+	MaxOccurrence int
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Strategy == "" {
+		cfg.Strategy = StrategyCoverage
+	}
+	if cfg.Budget < 0 {
+		cfg.Budget = 0
+	}
+	return cfg
+}
+
+// Result summarizes a finished campaign.
+type Result struct {
+	Workload string
+	Strategy string
+	Seed     int64
+	// Runs actually executed (≤ budget: site strategies stop when the fault
+	// space is exhausted).
+	Runs        int
+	FailureRuns int
+	// Failures maps failure symptom -> run count, excluding expected
+	// reactions; distinct keys ≈ distinct bugs exposed (the same metric the
+	// Section 8.3 baseline reports).
+	Failures map[string]int
+	// NovelBehaviors counts runs whose behavior signature was new.
+	NovelBehaviors int
+	// SpacePoints is the enumerated fault-space size (0 for `random`).
+	SpacePoints int
+	// Corpus is the full per-run record (persist with Corpus.Save).
+	Corpus *Corpus
+}
+
+// UniqueFailures is the number of distinct failure symptoms.
+func (r *Result) UniqueFailures() int { return len(r.Failures) }
+
+// Signatures returns the failure symptoms sorted by frequency (desc), ties
+// lexicographic.
+func (r *Result) Signatures() []string {
+	out := make([]string, 0, len(r.Failures))
+	for s := range r.Failures {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if r.Failures[out[i]] != r.Failures[out[j]] {
+			return r.Failures[out[i]] > r.Failures[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Run executes a campaign from scratch.
+func Run(w core.Workload, cfg Config) (*Result, error) {
+	return Resume(w, cfg, nil)
+}
+
+// Resume executes a campaign, reusing a prior corpus as a cached prefix:
+// because strategies are deterministic, re-proposed plans that match the
+// prior corpus run-for-run are answered from the corpus instead of being
+// re-simulated, and the campaign continues live past the cached prefix.
+// Passing a larger Budget than the prior run extends the campaign; passing
+// the same Budget replays it (and verifies the corpus is self-consistent).
+func Resume(w core.Workload, cfg Config, prior *Corpus) (*Result, error) {
+	cfg = cfg.withDefaults()
+	st, err := NewStrategy(cfg.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	if prior != nil {
+		if prior.Workload != w.Name() || prior.Strategy != cfg.Strategy || prior.Seed != cfg.Seed {
+			return nil, fmt.Errorf("campaign: corpus is from (%s, %s, seed %d), cannot resume as (%s, %s, seed %d)",
+				prior.Workload, prior.Strategy, prior.Seed, w.Name(), cfg.Strategy, cfg.Seed)
+		}
+	}
+
+	// Measure the fault-free execution once, untraced — the legacy
+	// baseline's exact preparation, so `random` campaigns reproduce it.
+	baseCfg := sim.Config{Seed: cfg.Seed, Tracing: sim.TraceOff}
+	w.Tune(&baseCfg)
+	bc := sim.NewCluster(baseCfg)
+	w.Configure(bc)
+	base := bc.Run()
+	if err := w.Check(bc, base); err != nil {
+		return nil, fmt.Errorf("campaign: fault-free run of %s incorrect: %w", w.Name(), err)
+	}
+
+	// Site strategies additionally need a traced fault-free run to
+	// enumerate the fault space, and trace their injection runs so behavior
+	// signatures carry post-fault site coverage.
+	traced := needsSpace(cfg.Strategy)
+	var sp *Space
+	if traced {
+		tCfg := sim.Config{Seed: cfg.Seed, Tracing: sim.TraceSelective}
+		w.Tune(&tCfg)
+		tc := sim.NewCluster(tCfg)
+		w.Configure(tc)
+		tOut := tc.Run()
+		if err := w.Check(tc, tOut); err != nil {
+			return nil, fmt.Errorf("campaign: traced fault-free run of %s incorrect: %w", w.Name(), err)
+		}
+		sp = NewSpace(tc.Trace(), base.Steps, w.CrashTarget(), cfg.MaxOccurrence)
+	} else {
+		sp = &Space{Target: w.CrashTarget(), BaseSteps: base.Steps}
+	}
+	st.Init(sp, cfg.Seed, cfg.Budget)
+
+	cor := NewCorpus(w.Name(), cfg.Strategy, cfg.Seed)
+	restart := w.RestartRoles()
+	res := &Result{Workload: w.Name(), Strategy: cfg.Strategy, Seed: cfg.Seed,
+		Failures: map[string]int{}, SpacePoints: len(sp.Points), Corpus: cor}
+
+	for res.Runs < cfg.Budget {
+		limit := cfg.Budget - res.Runs
+		if cfg.BatchSize > 0 && cfg.BatchSize < limit {
+			limit = cfg.BatchSize
+		}
+		batch := st.NextBatch(limit)
+		if len(batch) == 0 {
+			break
+		}
+		first := res.Runs
+		results := parallel.Map(cfg.Parallelism, len(batch), func(i int) RunResult {
+			if prior != nil && first+i < len(prior.Entries) {
+				if e := prior.Entries[first+i]; e.Plan.Key() == batch[i].Key() {
+					return RunResult{Plan: e.Plan, Sig: e.Sig, Verdict: e.Verdict}
+				}
+			}
+			return runPlan(w, cfg.Seed, batch[i], sp.Target, restart, traced)
+		})
+		for i := range results {
+			results[i].Novel = cor.add(results[i])
+			if results[i].Verdict == VerdictFailure {
+				res.FailureRuns++
+				res.Failures[results[i].Sig.Symptom]++
+			}
+		}
+		st.Observe(results)
+		res.Runs += len(batch)
+	}
+	res.NovelBehaviors = cor.NovelBehaviors()
+	return res, nil
+}
+
+// runPlan executes one injection run in its own isolated cluster.
+func runPlan(w core.Workload, seed int64, p Plan, target string, restart map[string]int64, traced bool) RunResult {
+	mode := sim.TraceOff
+	if traced {
+		mode = sim.TraceSelective
+	}
+	rcfg := sim.Config{Seed: seed, Tracing: mode, Plan: p.simPlan(target, restart)}
+	w.Tune(&rcfg)
+	c := sim.NewCluster(rcfg)
+	w.Configure(c)
+	out := c.Run()
+	checkErr := w.Check(c, out)
+	sig := signatureOf(w, out, checkErr, c.Trace())
+	verdict := VerdictTolerated
+	if sig.Outcome != OutcomeOK {
+		if sig.Expected {
+			verdict = VerdictExpected
+		} else {
+			verdict = VerdictFailure
+		}
+	}
+	return RunResult{Plan: p, Sig: sig, Verdict: verdict}
+}

@@ -1,0 +1,99 @@
+// Package campaign is the coverage-guided fault-injection campaign engine:
+// a search layer on top of the deterministic simulator that explores the
+// fault space of a workload (where/when/what to inject) and measures how
+// many distinct failure modes each search strategy exposes per run budget.
+//
+// The paper's Section 8.3 baseline — N uniform-random crash injections —
+// becomes one Strategy among several. The engine adds a fault-space model
+// enumerated from a fault-free trace, a per-run behavior signature with a
+// dedupe corpus, and persistence so campaigns can be stopped, resumed, and
+// diffed. Identical (workload, seed, budget, strategy) inputs produce an
+// identical corpus at any parallelism: every decision a strategy makes is
+// drawn before its batch runs, and results merge in run order.
+package campaign
+
+import (
+	"fmt"
+
+	"fcatch/internal/sim"
+)
+
+// Plan action names (the JSON-stable forms of sim.TriggerAction).
+const (
+	ActionNodeCrash  = "node-crash"
+	ActionKernelDrop = "kernel-drop"
+	ActionAppDrop    = "app-drop"
+)
+
+// Plan when names (the JSON-stable forms of sim.TriggerWhen).
+const (
+	WhenBefore = "before"
+	WhenAfter  = "after"
+)
+
+// Plan is one candidate injection: either a step crash (the legacy baseline:
+// crash the workload's crash target when the logical clock reaches CrashStep)
+// or a site point (inject Action at the Occurrence-th execution of Site,
+// before or after the op's effect). Site points are what the fault-space
+// model enumerates; step plans exist so the `random` strategy reproduces the
+// Section 8.3 baseline byte for byte.
+type Plan struct {
+	// CrashStep, for step plans, is the logical-clock step at which the
+	// workload's crash target is killed.
+	CrashStep int64 `json:"crash_step,omitempty"`
+
+	// Site/Occurrence/When/Action describe a site-point injection.
+	Site       string `json:"site,omitempty"`
+	Occurrence int    `json:"occurrence,omitempty"`
+	When       string `json:"when,omitempty"`
+	Action     string `json:"action,omitempty"`
+}
+
+// IsStep reports whether this is a legacy step-crash plan.
+func (p Plan) IsStep() bool { return p.Site == "" }
+
+// Key is the canonical identity of the plan, used for corpus resume checks.
+func (p Plan) Key() string {
+	if p.IsStep() {
+		return fmt.Sprintf("step:%d", p.CrashStep)
+	}
+	return fmt.Sprintf("site:%s/%d/%s/%s", p.Site, p.Occurrence, p.When, p.Action)
+}
+
+func (p Plan) String() string { return p.Key() }
+
+func (p Plan) simWhen() sim.TriggerWhen {
+	if p.When == WhenAfter {
+		return sim.After
+	}
+	return sim.Before
+}
+
+func (p Plan) simAction() sim.TriggerAction {
+	switch p.Action {
+	case ActionKernelDrop:
+		return sim.ActDropKernel
+	case ActionAppDrop:
+		return sim.ActDropApp
+	}
+	return sim.ActCrashSelf
+}
+
+// simPlan lowers the plan to the simulator's fault-plan form. Crash plans
+// carry the workload's restart map (the operator restarts dead nodes, as in
+// the random baseline); drop plans leave nothing to restart.
+func (p Plan) simPlan(target string, restart map[string]int64) *sim.FaultPlan {
+	if p.IsStep() {
+		return sim.NewObservationPlan(target, p.CrashStep, restart)
+	}
+	fp := &sim.FaultPlan{CrashAtStep: -1, Triggers: []sim.TriggerPoint{{
+		Site:       p.Site,
+		Occurrence: p.Occurrence,
+		When:       p.simWhen(),
+		Action:     p.simAction(),
+	}}}
+	if p.Action == ActionNodeCrash {
+		fp.RestartRoles = restart
+	}
+	return fp
+}

@@ -1,0 +1,197 @@
+package campaign
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"fcatch/internal/core"
+	"fcatch/internal/sim"
+	"fcatch/internal/trace"
+)
+
+// Outcome classes of one injection run, from worst to benign.
+const (
+	OutcomeException = "exception"
+	OutcomeFatal     = "fatal"
+	OutcomeHang      = "hang"
+	OutcomeCheck     = "check"
+	OutcomeOK        = "ok"
+)
+
+// Verdicts the engine assigns to one run.
+const (
+	// VerdictFailure: the run failed and the failure is not an expected
+	// reaction — a bug manifested.
+	VerdictFailure = "failure"
+	// VerdictExpected: the run failed but the symptom matches the workload's
+	// expected behaviors (the "Exp." column of Table 3).
+	VerdictExpected = "expected"
+	// VerdictTolerated: the system absorbed the fault and finished correctly.
+	VerdictTolerated = "tolerated"
+)
+
+// Signature is the behavior fingerprint of one injection run: the outcome
+// class, the symptom fingerprint (shared with the random baseline, so
+// "distinct failures found" means the same thing for every strategy), and a
+// hash of the site set reached after the fault fired (the coverage component;
+// 0 when the run was untraced). Two runs with equal signatures exercised the
+// same failure mode — or the same tolerance path.
+type Signature struct {
+	Outcome  string `json:"outcome"`
+	Symptom  string `json:"symptom,omitempty"`
+	Coverage uint64 `json:"coverage,omitempty"`
+	Expected bool   `json:"expected,omitempty"`
+}
+
+// Failure reports whether this signature counts as a distinct-failure
+// candidate (failed, and not an expected reaction).
+func (s Signature) Failure() bool { return s.Outcome != OutcomeOK && !s.Expected }
+
+// BehaviorKey is the dedupe-corpus identity: outcome + symptom + coverage.
+// Novelty of this key is what the coverage-guided strategy reinvests in.
+func (s Signature) BehaviorKey() string {
+	return s.Outcome + "|" + s.Symptom + "|" + strconv.FormatUint(s.Coverage, 16)
+}
+
+// outcomeClass mirrors the triggering module's failure precedence: uncaught
+// exceptions identify a failure more precisely than the fatal they log, which
+// beats the hang they often also cause; checker complaints rank last.
+func outcomeClass(out *sim.Outcome, checkErr error) string {
+	switch {
+	case len(out.UncaughtExceptions) > 0:
+		return OutcomeException
+	case len(out.FatalLogs) > 0:
+		return OutcomeFatal
+	case !out.Completed:
+		return OutcomeHang
+	case checkErr != nil:
+		return OutcomeCheck
+	}
+	return OutcomeOK
+}
+
+// Symptom fingerprints a failed run coarsely enough that repeated
+// manifestations of one bug collapse to one signature, while different hang
+// shapes stay distinct. Fatal logs and exceptions identify a failure more
+// precisely than the hang they often also cause, so they take precedence.
+// (This is the Section 8.3 baseline's signature function, hoisted here so
+// every campaign strategy is measured with the same yardstick.)
+func Symptom(out *sim.Outcome, checkErr error) string {
+	if len(out.FatalLogs) > 0 {
+		return "fatal:" + stripPID(out.FatalLogs[0])
+	}
+	if len(out.UncaughtExceptions) > 0 {
+		return "exception:" + stripPID(out.UncaughtExceptions[0])
+	}
+	if len(out.Hung) > 0 {
+		// Fingerprint by the first hung main thread (cascaded waiters vary
+		// run to run and would fragment one bug into many signatures).
+		first := out.Hung[0]
+		for _, h := range out.Hung {
+			if h.Name == "main" && (first.Name != "main" || h.Thread < first.Thread) {
+				first = h
+			}
+		}
+		where := first.Reason
+		if where == "" {
+			where = first.Site
+		}
+		return "hang:" + roleOnly(first.PID) + "/" + first.Name + "@" + stripPID(where)
+	}
+	if checkErr != nil {
+		return "check:" + checkErr.Error()
+	}
+	return "unknown"
+}
+
+// ExpectedSymptom reports whether the symptom matches one of the workload's
+// expected fault reactions (e.g. HMaster legitimately waits forever when
+// every regionserver is gone).
+func ExpectedSymptom(w core.Workload, symptom string) bool {
+	for _, pat := range w.ExpectedBehaviors() {
+		if pat != "" && strings.Contains(symptom, pat) {
+			return true
+		}
+	}
+	return false
+}
+
+func roleOnly(pid string) string {
+	if i := strings.IndexByte(pid, '#'); i >= 0 {
+		return pid[:i]
+	}
+	return pid
+}
+
+// stripPID removes "#N" incarnation suffixes so signatures are stable across
+// restarts.
+func stripPID(s string) string {
+	var b strings.Builder
+	i := 0
+	for i < len(s) {
+		if s[i] == '#' {
+			i++
+			for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+				i++
+			}
+			continue
+		}
+		b.WriteByte(s[i])
+		i++
+	}
+	return b.String()
+}
+
+// signatureOf builds the full behavior signature for one finished run.
+func signatureOf(w core.Workload, out *sim.Outcome, checkErr error, tr *trace.Trace) Signature {
+	sig := Signature{Outcome: outcomeClass(out, checkErr)}
+	if sig.Outcome != OutcomeOK {
+		sig.Symptom = Symptom(out, checkErr)
+		sig.Expected = ExpectedSymptom(w, sig.Symptom)
+	}
+	if tr != nil {
+		sig.Coverage = postFaultCoverage(tr)
+	}
+	return sig
+}
+
+// postFaultCoverage hashes the set of static sites the system reached at or
+// after the moment the fault fired — the "sites reached post-injection" part
+// of the behavior signature. The fault moment is the first crash bookkeeping
+// record or the first dropped send; if neither exists (the fault never
+// fired), the whole run counts.
+func postFaultCoverage(tr *trace.Trace) uint64 {
+	var fireTS int64 = -1
+	for i := range tr.Records {
+		r := &tr.Records[i]
+		if r.Kind == trace.KCrash || r.HasFlag(trace.FlagDropped) {
+			fireTS = r.TS
+			break
+		}
+	}
+	seen := map[string]bool{}
+	for i := range tr.Records {
+		r := &tr.Records[i]
+		if r.TS >= fireTS && r.Site != "" && r.Kind != trace.KCrash && r.Kind != trace.KRestart {
+			seen[r.Site] = true
+		}
+	}
+	sites := make([]string, 0, len(seen))
+	for s := range seen {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	// FNV-1a over the sorted site set.
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, s := range sites {
+		for j := 0; j < len(s); j++ {
+			h ^= uint64(s[j])
+			h *= prime64
+		}
+		h ^= 0xff
+		h *= prime64
+	}
+	return h
+}

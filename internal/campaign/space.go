@@ -1,0 +1,107 @@
+package campaign
+
+import (
+	"fcatch/internal/trace"
+)
+
+// SiteInfo summarizes one static op site of the fault-free trace.
+type SiteInfo struct {
+	Site string `json:"site"`
+	// Count is how many times the site executed in the fault-free run.
+	Count int `json:"count"`
+	// Sendable: some execution of the site is a message send or RPC call, so
+	// kernel-level drops apply.
+	Sendable bool `json:"sendable,omitempty"`
+	// Droppable: some execution uses a droppable verb, so application-level
+	// drops apply too.
+	Droppable bool `json:"droppable,omitempty"`
+	// FirstTS is the logical timestamp of the site's first execution; sites
+	// are ordered by it, which gives the coverage-guided strategy its notion
+	// of "nearby" sites.
+	FirstTS int64 `json:"first_ts"`
+}
+
+// Space is the fault-space model: every candidate injection point enumerated
+// from a fault-free trace — op sites × {before, after} × {node crash, kernel
+// drop, app drop} × occurrence — instead of raw step numbers. Enumeration is
+// a pure function of the trace, so the space (and every strategy walking it)
+// is deterministic.
+type Space struct {
+	// Target is the workload's crash-target role (used by step plans).
+	Target string
+	// BaseSteps is the fault-free execution length in scheduler steps (the
+	// sample space of the legacy random strategy).
+	BaseSteps int64
+	// Sites in first-execution order.
+	Sites []SiteInfo
+	// Points are the candidate plans, in deterministic exploration order:
+	// wave o ∈ 1..maxOcc visits every site's o-th occurrence (trace order)
+	// with each applicable action, so early budget spreads across all sites
+	// before re-visiting any.
+	Points []Plan
+
+	siteOrd map[string]int
+}
+
+// maxOccurrenceDefault caps how many occurrences of one site are enumerated;
+// later occurrences of hot sites rarely expose new behavior and would bloat
+// the space quadratically.
+const maxOccurrenceDefault = 3
+
+// NewSpace enumerates the fault space of a traced fault-free run.
+func NewSpace(tr *trace.Trace, baseSteps int64, target string, maxOcc int) *Space {
+	if maxOcc <= 0 {
+		maxOcc = maxOccurrenceDefault
+	}
+	sp := &Space{Target: target, BaseSteps: baseSteps, siteOrd: map[string]int{}}
+
+	for i := range tr.Records {
+		r := &tr.Records[i]
+		if r.Site == "" || r.Kind == trace.KCrash || r.Kind == trace.KRestart {
+			continue
+		}
+		ord, ok := sp.siteOrd[r.Site]
+		if !ok {
+			ord = len(sp.Sites)
+			sp.siteOrd[r.Site] = ord
+			sp.Sites = append(sp.Sites, SiteInfo{Site: r.Site, FirstTS: r.TS})
+		}
+		si := &sp.Sites[ord]
+		si.Count++
+		if r.Kind == trace.KMsgSend || r.Kind == trace.KRPCCall {
+			si.Sendable = true
+			if r.HasFlag(trace.FlagDroppable) {
+				si.Droppable = true
+			}
+		}
+	}
+
+	for occ := 1; occ <= maxOcc; occ++ {
+		for _, si := range sp.Sites {
+			if si.Count < occ {
+				continue
+			}
+			sp.Points = append(sp.Points,
+				Plan{Site: si.Site, Occurrence: occ, When: WhenBefore, Action: ActionNodeCrash},
+				Plan{Site: si.Site, Occurrence: occ, When: WhenAfter, Action: ActionNodeCrash})
+			if si.Sendable {
+				sp.Points = append(sp.Points,
+					Plan{Site: si.Site, Occurrence: occ, When: WhenBefore, Action: ActionKernelDrop})
+			}
+			if si.Droppable {
+				sp.Points = append(sp.Points,
+					Plan{Site: si.Site, Occurrence: occ, When: WhenBefore, Action: ActionAppDrop})
+			}
+		}
+	}
+	return sp
+}
+
+// SiteOrdinal returns the first-execution rank of a site (-1 if unknown),
+// the distance metric behind the coverage-guided neighborhood boost.
+func (sp *Space) SiteOrdinal(site string) int {
+	if ord, ok := sp.siteOrd[site]; ok {
+		return ord
+	}
+	return -1
+}

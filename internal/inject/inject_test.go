@@ -1,55 +1,12 @@
 package inject
 
 import (
-	"errors"
 	"testing"
 
 	"fcatch/internal/apps/toy"
 	"fcatch/internal/core"
 	"fcatch/internal/detect"
-	"fcatch/internal/sim"
 )
-
-func TestStripPID(t *testing.T) {
-	cases := map[string]string{
-		"worker#12/main":       "worker/main",
-		"hang in am#1 handler": "hang in am handler",
-		"no-pids-here":         "no-pids-here",
-		"a#1b#22c":             "abc",
-	}
-	for in, want := range cases {
-		if got := stripPID(in); got != want {
-			t.Errorf("stripPID(%q) = %q, want %q", in, got, want)
-		}
-	}
-}
-
-func TestRoleOnly(t *testing.T) {
-	if roleOnly("task2#3") != "task2" || roleOnly("plain") != "plain" {
-		t.Fatal("roleOnly wrong")
-	}
-}
-
-func TestFailureSignatureShapes(t *testing.T) {
-	hang := &sim.Outcome{Hung: []sim.HangSite{
-		{PID: "am#1", Name: "main", Thread: 8, Reason: "loop:awaitTasks"},
-		{PID: "task1#2", Name: "main", Thread: 52, Reason: "wait:rpc-reply"},
-		{PID: "am#1", Name: "gossiper", Thread: 3, Site: "z"}, // non-main: ignored
-	}}
-	sig := failureSignature(hang, nil)
-	if sig != "hang:am/main@loop:awaitTasks" {
-		t.Fatalf("hang signature = %q", sig)
-	}
-
-	fatal := &sim.Outcome{Completed: true, FatalLogs: []string{"boom@am#2"}}
-	if got := failureSignature(fatal, nil); got != "fatal:boom@am" {
-		t.Fatalf("fatal signature = %q", got)
-	}
-
-	if got := failureSignature(&sim.Outcome{Completed: true}, errors.New("lost data")); got != "check:lost data" {
-		t.Fatalf("check signature = %q", got)
-	}
-}
 
 func TestClassificationOrdering(t *testing.T) {
 	// The strongest verdict across fault kinds must win.

@@ -1,14 +1,10 @@
 package inject
 
 import (
-	"fmt"
-	"math/rand"
 	"sort"
-	"strings"
 
+	"fcatch/internal/campaign"
 	"fcatch/internal/core"
-	"fcatch/internal/parallel"
-	"fcatch/internal/sim"
 )
 
 // RandomResult summarizes a random fault-injection campaign (Section 8.3):
@@ -53,116 +49,25 @@ func RandomCampaign(w core.Workload, runs int, seed int64) (*RandomResult, error
 }
 
 // RandomCampaignP is RandomCampaign with an explicit parallelism bound
-// (0 = GOMAXPROCS, 1 = sequential). Every crash step is drawn from the seeded
-// RNG before any run starts, and per-run verdicts are merged in run order, so
-// the campaign's counts are identical at any parallelism.
+// (0 = GOMAXPROCS, 1 = sequential). It is a thin wrapper over the campaign
+// engine's `random` strategy, which pre-draws every crash step from the
+// seeded RNG and merges per-run verdicts in run order — so the counts are
+// identical at any parallelism, and byte-identical to the pre-engine
+// implementation (see TestRandomCampaignMatchesReference).
 func RandomCampaignP(w core.Workload, runs int, seed int64, parallelism int) (*RandomResult, error) {
-	// Measure the fault-free execution length once.
-	cfg := sim.Config{Seed: seed, Tracing: sim.TraceOff}
-	w.Tune(&cfg)
-	c := sim.NewCluster(cfg)
-	w.Configure(c)
-	base := c.Run()
-	if err := w.Check(c, base); err != nil {
-		return nil, fmt.Errorf("inject: fault-free run of %s incorrect: %w", w.Name(), err)
-	}
-
-	rng := rand.New(rand.NewSource(seed * 7919))
-	steps := make([]int64, runs)
-	for i := range steps {
-		steps[i] = 1 + rng.Int63n(base.Steps)
-	}
-
-	// Each injection run is fully isolated in its own cluster; the
-	// signature (or "" for a tolerated fault) comes back in the run's slot.
-	sigs := parallel.Map(parallelism, runs, func(i int) string {
-		plan := sim.NewObservationPlan(w.CrashTarget(), steps[i], w.RestartRoles())
-		rcfg := sim.Config{Seed: seed, Tracing: sim.TraceOff, Plan: plan}
-		w.Tune(&rcfg)
-		rc := sim.NewCluster(rcfg)
-		w.Configure(rc)
-		out := rc.Run()
-		checkErr := w.Check(rc, out)
-		if !out.Completed || len(out.FatalLogs) > 0 || len(out.UncaughtExceptions) > 0 || checkErr != nil {
-			if sig := failureSignature(out, checkErr); !expectedSig(w, sig) {
-				return sig
-			}
-		}
-		return ""
+	res, err := campaign.Run(w, campaign.Config{
+		Strategy:    campaign.StrategyRandom,
+		Seed:        seed,
+		Budget:      runs,
+		Parallelism: parallelism,
 	})
-
-	res := &RandomResult{Workload: w.Name(), Runs: runs, Failures: map[string]int{}}
-	for _, sig := range sigs {
-		if sig != "" {
-			res.FailureRuns++
-			res.Failures[sig]++
-		}
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
-}
-
-// failureSignature fingerprints a failed run coarsely enough that repeated
-// manifestations of one bug collapse to one signature, while different hang
-// shapes stay distinct. Fatal logs and exceptions identify a failure more
-// precisely than the hang they often also cause, so they take precedence.
-func failureSignature(out *sim.Outcome, checkErr error) string {
-	if len(out.FatalLogs) > 0 {
-		return "fatal:" + stripPID(out.FatalLogs[0])
-	}
-	if len(out.UncaughtExceptions) > 0 {
-		return "exception:" + stripPID(out.UncaughtExceptions[0])
-	}
-	if len(out.Hung) > 0 {
-		// Fingerprint by the first hung main thread (cascaded waiters vary
-		// run to run and would fragment one bug into many signatures).
-		first := out.Hung[0]
-		for _, h := range out.Hung {
-			if h.Name == "main" && (first.Name != "main" || h.Thread < first.Thread) {
-				first = h
-			}
-		}
-		where := first.Reason
-		if where == "" {
-			where = first.Site
-		}
-		return "hang:" + roleOnly(first.PID) + "/" + first.Name + "@" + stripPID(where)
-	}
-	if checkErr != nil {
-		return "check:" + checkErr.Error()
-	}
-	return "unknown"
-}
-
-func roleOnly(pid string) string {
-	if i := strings.IndexByte(pid, '#'); i >= 0 {
-		return pid[:i]
-	}
-	return pid
-}
-
-// stripPID removes "#N" incarnation suffixes so signatures are stable.
-func stripPID(s string) string {
-	var b strings.Builder
-	i := 0
-	for i < len(s) {
-		if s[i] == '#' {
-			i++
-			for i < len(s) && s[i] >= '0' && s[i] <= '9' {
-				i++
-			}
-			continue
-		}
-		b.WriteByte(s[i])
-		i++
-	}
-	return b.String()
-}
-
-func expectedSig(w core.Workload, sig string) bool {
-	for _, pat := range w.ExpectedBehaviors() {
-		if pat != "" && strings.Contains(sig, pat) {
-			return true
-		}
-	}
-	return false
+	return &RandomResult{
+		Workload:    res.Workload,
+		Runs:        res.Runs,
+		FailureRuns: res.FailureRuns,
+		Failures:    res.Failures,
+	}, nil
 }
