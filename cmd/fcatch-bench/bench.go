@@ -1,8 +1,10 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"testing"
@@ -13,6 +15,7 @@ import (
 	"fcatch/internal/detect"
 	"fcatch/internal/hb"
 	"fcatch/internal/sim"
+	"fcatch/internal/trace"
 )
 
 // benchEntry is one benchmark's machine-readable result — the unit future
@@ -24,6 +27,9 @@ type benchEntry struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	SecondsOp   float64 `json:"seconds_per_op"`
+	// SizeBytes is the encoded artifact size for trace-format benchmarks
+	// (0 for timing-only entries).
+	SizeBytes int64 `json:"size_bytes,omitempty"`
 }
 
 // benchReport is the envelope written by `fcatch-bench -json out.json`.
@@ -50,14 +56,30 @@ func toEntry(name string, r testing.BenchmarkResult) benchEntry {
 
 // runBenchSuite measures the pipeline's hot paths with testing.Benchmark:
 // the full evaluation sequentially and at full parallelism (the tentpole's
-// wall-clock claim), each workload's detection pass sequentially, and the
+// wall-clock claim), each workload's detection pass sequentially, the
 // simulation-free analysis phase per workload (the detector-index ns/op and
-// allocs/op claims).
-func runBenchSuite(seed int64) []benchEntry {
+// allocs/op claims), and the trace codecs (FCT1 vs legacy gob, with encoded
+// sizes). In smoke mode only the cheap TOY-scale entries run — the CI gate
+// that the suite itself still works, not a perf measurement.
+func runBenchSuite(seed int64, smoke bool) []benchEntry {
 	var out []benchEntry
 	measure := func(name string, fn func(b *testing.B)) {
 		fmt.Fprintf(os.Stderr, "fcatch-bench: benchmarking %s...\n", name)
 		out = append(out, toEntry(name, testing.Benchmark(fn)))
+	}
+
+	if smoke {
+		measure("detect/TOY/parallelism=1", func(b *testing.B) {
+			opts := core.Options{Seed: seed, Phase: fcatch.PhaseBegin, Tracing: sim.TraceSelective, Parallelism: 1}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := fcatch.Detect(fcatch.MustWorkload("TOY"), opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		out = append(out, traceFormatEntries(seed, "TOY")...)
+		return out
 	}
 
 	for _, par := range []int{1, 0} {
@@ -128,11 +150,79 @@ func runBenchSuite(seed int64) []benchEntry {
 		}
 	})
 
+	out = append(out, traceFormatEntries(seed, "MR1")...)
+
+	return out
+}
+
+// traceFormatEntries benchmarks the trace codecs on the named workload's
+// fault-free trace: FCT1 encode/decode and the legacy gob encoder, each
+// entry carrying the encoded artifact size so BENCH_*.json records the
+// on-disk win alongside the cost.
+func traceFormatEntries(seed int64, workload string) []benchEntry {
+	opts := core.Options{Seed: seed, Phase: fcatch.PhaseBegin, Tracing: sim.TraceSelective, Parallelism: 1}
+	obs, err := core.Observe(fcatch.MustWorkload(workload), opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fcatch-bench: observe %s: %v\n", workload, err)
+		os.Exit(1)
+	}
+	tr := obs.FaultFree
+
+	var fct, gob bytes.Buffer
+	if err := tr.Encode(&fct); err != nil {
+		fmt.Fprintln(os.Stderr, "fcatch-bench: encode fct1:", err)
+		os.Exit(1)
+	}
+	if err := tr.EncodeLegacyGob(&gob); err != nil {
+		fmt.Fprintln(os.Stderr, "fcatch-bench: encode gob:", err)
+		os.Exit(1)
+	}
+
+	var out []benchEntry
+	measure := func(name string, size int64, fn func(b *testing.B)) {
+		fmt.Fprintf(os.Stderr, "fcatch-bench: benchmarking %s...\n", name)
+		e := toEntry(name, testing.Benchmark(fn))
+		e.SizeBytes = size
+		out = append(out, e)
+	}
+
+	measure("trace-format/fct1/encode/"+workload, int64(fct.Len()), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := tr.Encode(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	measure("trace-format/gob/encode/"+workload, int64(gob.Len()), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := tr.EncodeLegacyGob(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	measure("trace-format/fct1/decode/"+workload, 0, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := trace.Decode(bytes.NewReader(fct.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	measure("trace-format/gob/decode/"+workload, 0, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := trace.Decode(bytes.NewReader(gob.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	return out
 }
 
 // writeBenchJSON runs the suite and writes the report.
-func writeBenchJSON(path string, seed int64) error {
+func writeBenchJSON(path string, seed int64, smoke bool) error {
 	rep := benchReport{
 		GeneratedBy: "fcatch-bench -json",
 		GoVersion:   runtime.Version(),
@@ -140,7 +230,7 @@ func writeBenchJSON(path string, seed int64) error {
 		NumCPU:      runtime.NumCPU(),
 		Seed:        seed,
 		Timestamp:   time.Now().UTC().Format(time.RFC3339),
-		Benchmarks:  runBenchSuite(seed),
+		Benchmarks:  runBenchSuite(seed, smoke),
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -37,10 +37,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "deterministic scheduler seed")
 	parallelism := flag.Int("parallelism", 0, "pipeline worker bound (0 = GOMAXPROCS, 1 = sequential)")
 	jsonOut := flag.String("json", "", "run the perf benchmark suite and write JSON results to this file")
+	smoke := flag.Bool("smoke", false, "with -json: run only the cheap TOY-scale entries (CI smoke test)")
 	flag.Parse()
 
 	if *jsonOut != "" {
-		if err := writeBenchJSON(*jsonOut, *seed); err != nil {
+		if err := writeBenchJSON(*jsonOut, *seed, *smoke); err != nil {
 			fmt.Fprintln(os.Stderr, "fcatch-bench:", err)
 			os.Exit(1)
 		}

@@ -135,15 +135,16 @@ func main() {
 		if prefix == "" {
 			prefix = w.Name()
 		}
-		ff, fy := prefix+".faultfree.gob.gz", prefix+".faulty.gob.gz"
+		ff, fy := prefix+".faultfree.trace", prefix+".faulty.trace"
 		if err := obs.FaultFree.Save(ff); err != nil {
 			fatal(err)
 		}
 		if err := obs.Faulty.Save(fy); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("saved %s (%d records) and %s (%d records, crash of %s at step %d)\n",
-			ff, obs.FaultFree.Len(), fy, obs.Faulty.Len(), obs.Faulty.CrashedPID, obs.Faulty.CrashStep)
+		fmt.Printf("saved %s (%d records) and %s (%d records, crash of %s at step %d) in %s format\n",
+			ff, obs.FaultFree.Len(), fy, obs.Faulty.Len(), obs.Faulty.CrashedPID, obs.Faulty.CrashStep,
+			trace.FormatMagic)
 
 	case "grep":
 		obs, err := core.Observe(w, opts)
@@ -163,7 +164,7 @@ func main() {
 			q.Kinds = []trace.Kind{k}
 		}
 		for _, r := range tr.Filter(q) {
-			fmt.Println(r.String())
+			fmt.Println(tr.Format(r))
 		}
 
 	default:

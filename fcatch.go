@@ -22,6 +22,7 @@ package fcatch
 
 import (
 	"fmt"
+	"io"
 
 	"fcatch/internal/apps/cassandra"
 	"fcatch/internal/apps/hbase"
@@ -31,6 +32,7 @@ import (
 	"fcatch/internal/core"
 	"fcatch/internal/detect"
 	"fcatch/internal/inject"
+	"fcatch/internal/trace"
 )
 
 // Re-exported core types, so downstream users only import this package.
@@ -143,6 +145,30 @@ func RandomInjection(w Workload, runs int, seed int64) (*RandomResult, error) {
 func RandomInjectionP(w Workload, runs int, seed int64, parallelism int) (*RandomResult, error) {
 	return inject.RandomCampaignP(w, runs, seed, parallelism)
 }
+
+// Trace is one observation run's interned record stream. Record fields that
+// name things (PID, Site, Res, ...) are symbols into the trace's table —
+// resolve them with the Trace's Str/Lookup/Format methods.
+type Trace = trace.Trace
+
+// Trace-format identification for the versioned on-disk encoding.
+const (
+	// TraceFormatMagic is the 4-byte tag leading every trace file written
+	// in the current binary format.
+	TraceFormatMagic = trace.FormatMagic
+	// TraceFormatVersion is the format generation the magic encodes.
+	TraceFormatVersion = trace.FormatVersion
+)
+
+// SaveTrace writes a trace to path in the current binary format.
+func SaveTrace(t *Trace, path string) error { return t.Save(path) }
+
+// LoadTrace reads a trace from path, sniffing the format: current binary
+// traces and pre-versioning gob traces both load.
+func LoadTrace(path string) (*Trace, error) { return trace.Load(path) }
+
+// DecodeTrace is LoadTrace over an arbitrary reader.
+func DecodeTrace(r io.Reader) (*Trace, error) { return trace.Decode(r) }
 
 // ReportGroup is a correlated set of crash-recovery reports (the Section 2.3
 // multi-resource extension).

@@ -170,16 +170,25 @@ func postFaultCoverage(tr *trace.Trace) uint64 {
 			break
 		}
 	}
-	seen := map[string]bool{}
+	// Dedupe by Sym (a flat-slice probe per record), then resolve and sort the
+	// distinct site strings — the hash input is byte-identical to the old
+	// string-set implementation.
+	seen := make([]bool, tr.NumSyms())
+	n := 0
 	for i := range tr.Records {
 		r := &tr.Records[i]
-		if r.TS >= fireTS && r.Site != "" && r.Kind != trace.KCrash && r.Kind != trace.KRestart {
-			seen[r.Site] = true
+		if r.TS >= fireTS && r.Site != trace.NoSym && r.Kind != trace.KCrash && r.Kind != trace.KRestart {
+			if !seen[r.Site] {
+				seen[r.Site] = true
+				n++
+			}
 		}
 	}
-	sites := make([]string, 0, len(seen))
-	for s := range seen {
-		sites = append(sites, s)
+	sites := make([]string, 0, n)
+	for y, ok := range seen {
+		if ok {
+			sites = append(sites, tr.Str(trace.Sym(y)))
+		}
 	}
 	sort.Strings(sites)
 	// FNV-1a over the sorted site set.

@@ -55,16 +55,25 @@ func NewSpace(tr *trace.Trace, baseSteps int64, target string, maxOcc int) *Spac
 	}
 	sp := &Space{Target: target, BaseSteps: baseSteps, siteOrd: map[string]int{}}
 
+	// Per-Sym ordinal table for the enumeration loop (one slice probe per
+	// record); the string-keyed siteOrd stays for SiteOrdinal's public API and
+	// is filled once per distinct site.
+	ordBySym := make([]int, tr.NumSyms())
+	for i := range ordBySym {
+		ordBySym[i] = -1
+	}
 	for i := range tr.Records {
 		r := &tr.Records[i]
-		if r.Site == "" || r.Kind == trace.KCrash || r.Kind == trace.KRestart {
+		if r.Site == trace.NoSym || r.Kind == trace.KCrash || r.Kind == trace.KRestart {
 			continue
 		}
-		ord, ok := sp.siteOrd[r.Site]
-		if !ok {
+		ord := ordBySym[r.Site]
+		if ord < 0 {
 			ord = len(sp.Sites)
-			sp.siteOrd[r.Site] = ord
-			sp.Sites = append(sp.Sites, SiteInfo{Site: r.Site, FirstTS: r.TS})
+			ordBySym[r.Site] = ord
+			site := tr.Str(r.Site)
+			sp.siteOrd[site] = ord
+			sp.Sites = append(sp.Sites, SiteInfo{Site: site, FirstTS: r.TS})
 		}
 		si := &sp.Sites[ord]
 		si.Count++

@@ -48,8 +48,8 @@ func TestCheckpointPairSharesPrefix(t *testing.T) {
 		if a.TS >= ty.CrashStep || b.TS >= ty.CrashStep {
 			break
 		}
-		if a.Kind != b.Kind || a.Res != b.Res || a.PID != b.PID || a.Site != b.Site {
-			t.Fatalf("prefix diverges at record %d:\n  fault-free: %s\n  faulty:     %s", i, a.String(), b.String())
+		if a.Kind != b.Kind || tf.Str(a.Res) != ty.Str(b.Res) || tf.Str(a.PID) != ty.Str(b.PID) || tf.Str(a.Site) != ty.Str(b.Site) {
+			t.Fatalf("prefix diverges at record %d:\n  fault-free: %s\n  faulty:     %s", i, tf.Format(&a), ty.Format(&b))
 		}
 		n++
 	}
@@ -72,9 +72,9 @@ func TestDeterministicReplay(t *testing.T) {
 		t.Fatalf("fault-free traces differ in length: %d vs %d", o1.FaultFree.Len(), o2.FaultFree.Len())
 	}
 	for i := range o1.FaultFree.Records {
-		a, b := o1.FaultFree.Records[i], o2.FaultFree.Records[i]
-		if a.String() != b.String() {
-			t.Fatalf("record %d differs:\n  %s\n  %s", i, a.String(), b.String())
+		a, b := o1.FaultFree.Format(&o1.FaultFree.Records[i]), o2.FaultFree.Format(&o2.FaultFree.Records[i])
+		if a != b {
+			t.Fatalf("record %d differs:\n  %s\n  %s", i, a, b)
 		}
 	}
 	if o1.CrashStep != o2.CrashStep {

@@ -41,9 +41,9 @@ func TestCheckpointPairPropertyAllWorkloads(t *testing.T) {
 				if a.TS >= ty.CrashStep || b.TS >= ty.CrashStep {
 					break
 				}
-				if a.Kind != b.Kind || a.Res != b.Res || a.PID != b.PID || a.Site != b.Site || a.Src != b.Src {
+				if a.Kind != b.Kind || tf.Str(a.Res) != ty.Str(b.Res) || tf.Str(a.PID) != ty.Str(b.PID) || tf.Str(a.Site) != ty.Str(b.Site) || a.Src != b.Src {
 					t.Fatalf("prefix diverges at record %d:\n  fault-free: %s\n  faulty:     %s",
-						i, a.String(), b.String())
+						i, tf.Format(a), ty.Format(b))
 				}
 				shared++
 			}

@@ -48,7 +48,7 @@ func CorrelateRecovery(ty *trace.Trace, reports []*Report) []ReportGroup {
 		if act == nil {
 			return keyed{key: "?" + r.R.Site, order: rec.ID}
 		}
-		return keyed{key: act.Aux + "#" + itoa(int64(act.ID)), order: act.ID}
+		return keyed{key: ty.Str(act.Aux) + "#" + itoa(int64(act.ID)), order: act.ID}
 	}
 	for _, r := range reports {
 		if r.Type != CrashRecovery {

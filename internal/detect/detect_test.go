@@ -40,19 +40,19 @@ func TestDedupKeepsFirstPerKey(t *testing.T) {
 // message from node A) signals it.
 func regularTrace(timedWait bool) *trace.Trace {
 	tr := trace.New()
-	aStart := tr.Append(trace.Record{Kind: trace.KThreadStart, PID: "a#1", Thread: 1, Causor: trace.NoOp})
-	bStart := tr.Append(trace.Record{Kind: trace.KThreadStart, PID: "b#1", Thread: 2, Causor: trace.NoOp})
+	aStart := tr.Append(trace.Record{Kind: trace.KThreadStart, PID: tr.Intern("a#1"), Thread: 1, Causor: trace.NoOp})
+	bStart := tr.Append(trace.Record{Kind: trace.KThreadStart, PID: tr.Intern("b#1"), Thread: 2, Causor: trace.NoOp})
 	var flags uint32
 	if timedWait {
 		flags = trace.FlagTimedWait
 	}
-	tr.Append(trace.Record{Kind: trace.KWait, PID: "b#1", Thread: 2, Frame: bStart,
-		Res: "cv:b#1:ready/5", Aux: "ready", Flags: flags, Site: "b.go:10", TS: 10})
-	send := tr.Append(trace.Record{Kind: trace.KMsgSend, PID: "a#1", Thread: 1, Frame: aStart,
-		Target: "b#1", Aux: "go", Site: "a.go:5", TS: 12})
-	hBegin := tr.Append(trace.Record{Kind: trace.KHandlerBegin, PID: "b#1", Thread: 3, Frame: bStart, Causor: send})
-	tr.Append(trace.Record{Kind: trace.KSignal, PID: "b#1", Thread: 3, Frame: hBegin,
-		Res: "cv:b#1:ready/5", Aux: "ready", Site: "b.go:20", TS: 15})
+	tr.Append(trace.Record{Kind: trace.KWait, PID: tr.Intern("b#1"), Thread: 2, Frame: bStart,
+		Res: tr.Intern("cv:b#1:ready/5"), Aux: tr.Intern("ready"), Flags: flags, Site: tr.Intern("b.go:10"), TS: 10})
+	send := tr.Append(trace.Record{Kind: trace.KMsgSend, PID: tr.Intern("a#1"), Thread: 1, Frame: aStart,
+		Target: tr.Intern("b#1"), Aux: tr.Intern("go"), Site: tr.Intern("a.go:5"), TS: 12})
+	hBegin := tr.Append(trace.Record{Kind: trace.KHandlerBegin, PID: tr.Intern("b#1"), Thread: 3, Frame: bStart, Causor: send})
+	tr.Append(trace.Record{Kind: trace.KSignal, PID: tr.Intern("b#1"), Thread: 3, Frame: hBegin,
+		Res: tr.Intern("cv:b#1:ready/5"), Aux: tr.Intern("ready"), Site: tr.Intern("b.go:20"), TS: 15})
 	return tr
 }
 
@@ -83,13 +83,13 @@ func TestDetectRegularPrunesTimedWaits(t *testing.T) {
 func TestDetectRegularIgnoresLocalSignals(t *testing.T) {
 	// The signal comes from a plain local thread: no fault can remove it.
 	tr := trace.New()
-	bStart := tr.Append(trace.Record{Kind: trace.KThreadStart, PID: "b#1", Thread: 1, Causor: trace.NoOp})
-	tr.Append(trace.Record{Kind: trace.KWait, PID: "b#1", Thread: 1, Frame: bStart,
-		Res: "cv:b#1:x/1", Site: "b.go:1", TS: 5})
-	spawn := tr.Append(trace.Record{Kind: trace.KThreadCreate, PID: "b#1", Thread: 1, Frame: bStart})
-	tStart := tr.Append(trace.Record{Kind: trace.KThreadStart, PID: "b#1", Thread: 2, Causor: spawn})
-	tr.Append(trace.Record{Kind: trace.KSignal, PID: "b#1", Thread: 2, Frame: tStart,
-		Res: "cv:b#1:x/1", Site: "b.go:2", TS: 9})
+	bStart := tr.Append(trace.Record{Kind: trace.KThreadStart, PID: tr.Intern("b#1"), Thread: 1, Causor: trace.NoOp})
+	tr.Append(trace.Record{Kind: trace.KWait, PID: tr.Intern("b#1"), Thread: 1, Frame: bStart,
+		Res: tr.Intern("cv:b#1:x/1"), Site: tr.Intern("b.go:1"), TS: 5})
+	spawn := tr.Append(trace.Record{Kind: trace.KThreadCreate, PID: tr.Intern("b#1"), Thread: 1, Frame: bStart})
+	tStart := tr.Append(trace.Record{Kind: trace.KThreadStart, PID: tr.Intern("b#1"), Thread: 2, Causor: spawn})
+	tr.Append(trace.Record{Kind: trace.KSignal, PID: tr.Intern("b#1"), Thread: 2, Frame: tStart,
+		Res: tr.Intern("cv:b#1:x/1"), Site: tr.Intern("b.go:2"), TS: 9})
 	res := DetectRegular(hb.New(tr), "wl")
 	if len(res.Reports) != 0 {
 		t.Fatalf("local signal reported: %v", res.Reports[0])
@@ -99,12 +99,12 @@ func TestDetectRegularIgnoresLocalSignals(t *testing.T) {
 func TestDetectRegularWaitNeedsLaterSignal(t *testing.T) {
 	// Signal strictly before the wait: the pairing rule finds nothing.
 	tr := trace.New()
-	aStart := tr.Append(trace.Record{Kind: trace.KThreadStart, PID: "a#1", Thread: 1, Causor: trace.NoOp})
-	bStart := tr.Append(trace.Record{Kind: trace.KThreadStart, PID: "b#1", Thread: 2, Causor: trace.NoOp})
-	send := tr.Append(trace.Record{Kind: trace.KMsgSend, PID: "a#1", Thread: 1, Frame: aStart, Target: "b#1", Site: "a.go:1", TS: 2})
-	hBegin := tr.Append(trace.Record{Kind: trace.KHandlerBegin, PID: "b#1", Thread: 3, Frame: bStart, Causor: send})
-	tr.Append(trace.Record{Kind: trace.KSignal, PID: "b#1", Thread: 3, Frame: hBegin, Res: "cv:b#1:x/1", Site: "b.go:2", TS: 3})
-	tr.Append(trace.Record{Kind: trace.KWait, PID: "b#1", Thread: 2, Frame: bStart, Res: "cv:b#1:x/1", Site: "b.go:1", TS: 8})
+	aStart := tr.Append(trace.Record{Kind: trace.KThreadStart, PID: tr.Intern("a#1"), Thread: 1, Causor: trace.NoOp})
+	bStart := tr.Append(trace.Record{Kind: trace.KThreadStart, PID: tr.Intern("b#1"), Thread: 2, Causor: trace.NoOp})
+	send := tr.Append(trace.Record{Kind: trace.KMsgSend, PID: tr.Intern("a#1"), Thread: 1, Frame: aStart, Target: tr.Intern("b#1"), Site: tr.Intern("a.go:1"), TS: 2})
+	hBegin := tr.Append(trace.Record{Kind: trace.KHandlerBegin, PID: tr.Intern("b#1"), Thread: 3, Frame: bStart, Causor: send})
+	tr.Append(trace.Record{Kind: trace.KSignal, PID: tr.Intern("b#1"), Thread: 3, Frame: hBegin, Res: tr.Intern("cv:b#1:x/1"), Site: tr.Intern("b.go:2"), TS: 3})
+	tr.Append(trace.Record{Kind: trace.KWait, PID: tr.Intern("b#1"), Thread: 2, Frame: bStart, Res: tr.Intern("cv:b#1:x/1"), Site: tr.Intern("b.go:1"), TS: 8})
 	res := DetectRegular(hb.New(tr), "wl")
 	if len(res.Reports) != 0 {
 		t.Fatalf("signal-before-wait wrongly paired: %v", res.Reports[0])
@@ -115,22 +115,22 @@ func TestDetectRegularWaitNeedsLaterSignal(t *testing.T) {
 // remote message) writes the flag a sync loop's final read consumes.
 func loopTrace(timeInExit bool) *trace.Trace {
 	tr := trace.New()
-	aStart := tr.Append(trace.Record{Kind: trace.KThreadStart, PID: "a#1", Thread: 1, Causor: trace.NoOp})
-	bStart := tr.Append(trace.Record{Kind: trace.KThreadStart, PID: "b#1", Thread: 2, Causor: trace.NoOp})
-	tr.Append(trace.Record{Kind: trace.KLoopEnter, PID: "b#1", Thread: 2, Frame: bStart, Aux: "poll"})
-	send := tr.Append(trace.Record{Kind: trace.KMsgSend, PID: "a#1", Thread: 1, Frame: aStart, Target: "b#1", Site: "a.go:9", TS: 4})
-	hBegin := tr.Append(trace.Record{Kind: trace.KHandlerBegin, PID: "b#1", Thread: 3, Frame: bStart, Causor: send})
-	w := tr.Append(trace.Record{Kind: trace.KHeapWrite, PID: "b#1", Thread: 3, Frame: hBegin,
-		Res: "heap:b#1:o.flag", Site: "b.go:30", TS: 6})
-	read := tr.Append(trace.Record{Kind: trace.KLoopRead, PID: "b#1", Thread: 2, Frame: bStart,
-		Res: "heap:b#1:o.flag", Src: w, Site: "b.go:40", TS: 8})
+	aStart := tr.Append(trace.Record{Kind: trace.KThreadStart, PID: tr.Intern("a#1"), Thread: 1, Causor: trace.NoOp})
+	bStart := tr.Append(trace.Record{Kind: trace.KThreadStart, PID: tr.Intern("b#1"), Thread: 2, Causor: trace.NoOp})
+	tr.Append(trace.Record{Kind: trace.KLoopEnter, PID: tr.Intern("b#1"), Thread: 2, Frame: bStart, Aux: tr.Intern("poll")})
+	send := tr.Append(trace.Record{Kind: trace.KMsgSend, PID: tr.Intern("a#1"), Thread: 1, Frame: aStart, Target: tr.Intern("b#1"), Site: tr.Intern("a.go:9"), TS: 4})
+	hBegin := tr.Append(trace.Record{Kind: trace.KHandlerBegin, PID: tr.Intern("b#1"), Thread: 3, Frame: bStart, Causor: send})
+	w := tr.Append(trace.Record{Kind: trace.KHeapWrite, PID: tr.Intern("b#1"), Thread: 3, Frame: hBegin,
+		Res: tr.Intern("heap:b#1:o.flag"), Site: tr.Intern("b.go:30"), TS: 6})
+	read := tr.Append(trace.Record{Kind: trace.KLoopRead, PID: tr.Intern("b#1"), Thread: 2, Frame: bStart,
+		Res: tr.Intern("heap:b#1:o.flag"), Src: w, Site: tr.Intern("b.go:40"), TS: 8})
 	taints := []trace.OpID{read}
 	if timeInExit {
-		tm := tr.Append(trace.Record{Kind: trace.KTimeRead, PID: "b#1", Thread: 2, Frame: bStart, TS: 9})
+		tm := tr.Append(trace.Record{Kind: trace.KTimeRead, PID: tr.Intern("b#1"), Thread: 2, Frame: bStart, TS: 9})
 		taints = append(taints, tm)
 	}
-	tr.Append(trace.Record{Kind: trace.KLoopExit, PID: "b#1", Thread: 2, Frame: bStart,
-		Aux: "poll", Taint: taints, TS: 10})
+	tr.Append(trace.Record{Kind: trace.KLoopExit, PID: tr.Intern("b#1"), Thread: 2, Frame: bStart,
+		Aux: tr.Intern("poll"), Taint: taints, TS: 10})
 	return tr
 }
 
@@ -158,35 +158,35 @@ func TestDetectRegularPrunesTimeBoundedLoops(t *testing.T) {
 // reaches a message send (impact).
 func recoveryPair(withReset, withSanity, withImpact bool) (ff, fy *trace.Trace) {
 	ff = trace.New()
-	ffStart := ff.Append(trace.Record{Kind: trace.KThreadStart, PID: "crash#1", Thread: 1, Causor: trace.NoOp})
-	ff.Append(trace.Record{Kind: trace.KKVUpdate, PID: "crash#1", Thread: 1, Frame: ffStart,
-		Res: "zk:/state", Aux: "set", Site: "c.go:5", TS: 3})
+	ffStart := ff.Append(trace.Record{Kind: trace.KThreadStart, PID: ff.Intern("crash#1"), Thread: 1, Causor: trace.NoOp})
+	ff.Append(trace.Record{Kind: trace.KKVUpdate, PID: ff.Intern("crash#1"), Thread: 1, Frame: ffStart,
+		Res: ff.Intern("zk:/state"), Aux: ff.Intern("set"), Site: ff.Intern("c.go:5"), TS: 3})
 	ff.PIDs = []string{"crash#1"}
 
 	fy = trace.New()
 	fy.CrashedPID = "crash#1"
 	fy.CrashStep = 10
-	fyStart := fy.Append(trace.Record{Kind: trace.KThreadStart, PID: "crash#1", Thread: 1, Causor: trace.NoOp})
+	fyStart := fy.Append(trace.Record{Kind: trace.KThreadStart, PID: fy.Intern("crash#1"), Thread: 1, Causor: trace.NoOp})
 	_ = fyStart
-	recStart := fy.Append(trace.Record{Kind: trace.KThreadStart, PID: "rec#2", Thread: 2, Causor: trace.NoOp})
+	recStart := fy.Append(trace.Record{Kind: trace.KThreadStart, PID: fy.Intern("rec#2"), Thread: 2, Causor: trace.NoOp})
 	if withReset {
-		fy.Append(trace.Record{Kind: trace.KKVUpdate, PID: "rec#2", Thread: 2, Frame: recStart,
-			Res: "zk:/state", Aux: "set", Site: "r.go:3", TS: 12})
+		fy.Append(trace.Record{Kind: trace.KKVUpdate, PID: fy.Intern("rec#2"), Thread: 2, Frame: recStart,
+			Res: fy.Intern("zk:/state"), Aux: fy.Intern("set"), Site: fy.Intern("r.go:3"), TS: 12})
 	}
 	var sanityID trace.OpID
 	if withSanity {
-		sanityID = fy.Append(trace.Record{Kind: trace.KStExists, PID: "rec#2", Thread: 2, Frame: recStart,
-			Res: "zk:/state", Site: "r.go:5", TS: 13})
+		sanityID = fy.Append(trace.Record{Kind: trace.KStExists, PID: fy.Intern("rec#2"), Thread: 2, Frame: recStart,
+			Res: fy.Intern("zk:/state"), Site: fy.Intern("r.go:5"), TS: 13})
 	}
-	readRec := trace.Record{Kind: trace.KStRead, PID: "rec#2", Thread: 2, Frame: recStart,
-		Res: "zk:/state", Site: "r.go:10", TS: 14}
+	readRec := trace.Record{Kind: trace.KStRead, PID: fy.Intern("rec#2"), Thread: 2, Frame: recStart,
+		Res: fy.Intern("zk:/state"), Site: fy.Intern("r.go:10"), TS: 14}
 	if withSanity {
 		readRec.Ctl = []trace.OpID{sanityID}
 	}
 	read := fy.Append(readRec)
 	if withImpact {
-		fy.Append(trace.Record{Kind: trace.KMsgSend, PID: "rec#2", Thread: 2, Frame: recStart,
-			Target: "other#1", Taint: []trace.OpID{read}, Site: "r.go:12", TS: 16})
+		fy.Append(trace.Record{Kind: trace.KMsgSend, PID: fy.Intern("rec#2"), Thread: 2, Frame: recStart,
+			Target: fy.Intern("other#1"), Taint: []trace.OpID{read}, Site: fy.Intern("r.go:12"), TS: 16})
 	}
 	fy.PIDs = []string{"crash#1", "rec#2"}
 	return ff, fy
@@ -243,20 +243,20 @@ func TestDetectRecoveryImpactPruning(t *testing.T) {
 
 func TestDetectRecoveryIgnoresCrashNodeHeap(t *testing.T) {
 	ff := trace.New()
-	s := ff.Append(trace.Record{Kind: trace.KThreadStart, PID: "crash#1", Thread: 1, Causor: trace.NoOp})
-	ff.Append(trace.Record{Kind: trace.KHeapWrite, PID: "crash#1", Thread: 1, Frame: s,
-		Res: "heap:crash#1:o.f", Site: "c.go:1", TS: 2})
+	s := ff.Append(trace.Record{Kind: trace.KThreadStart, PID: ff.Intern("crash#1"), Thread: 1, Causor: trace.NoOp})
+	ff.Append(trace.Record{Kind: trace.KHeapWrite, PID: ff.Intern("crash#1"), Thread: 1, Frame: s,
+		Res: ff.Intern("heap:crash#1:o.f"), Site: ff.Intern("c.go:1"), TS: 2})
 	ff.PIDs = []string{"crash#1"}
 
 	fy := trace.New()
 	fy.CrashedPID = "crash#1"
 	fy.CrashStep = 5
-	fy.Append(trace.Record{Kind: trace.KThreadStart, PID: "crash#1", Thread: 1, Causor: trace.NoOp})
-	rs := fy.Append(trace.Record{Kind: trace.KThreadStart, PID: "rec#2", Thread: 2, Causor: trace.NoOp})
-	read := fy.Append(trace.Record{Kind: trace.KHeapRead, PID: "rec#2", Thread: 2, Frame: rs,
-		Res: "heap:crash#1:o.f", Site: "r.go:1", TS: 7})
-	fy.Append(trace.Record{Kind: trace.KMsgSend, PID: "rec#2", Thread: 2, Frame: rs,
-		Target: "x#1", Taint: []trace.OpID{read}, TS: 8})
+	fy.Append(trace.Record{Kind: trace.KThreadStart, PID: fy.Intern("crash#1"), Thread: 1, Causor: trace.NoOp})
+	rs := fy.Append(trace.Record{Kind: trace.KThreadStart, PID: fy.Intern("rec#2"), Thread: 2, Causor: trace.NoOp})
+	read := fy.Append(trace.Record{Kind: trace.KHeapRead, PID: fy.Intern("rec#2"), Thread: 2, Frame: rs,
+		Res: fy.Intern("heap:crash#1:o.f"), Site: fy.Intern("r.go:1"), TS: 7})
+	fy.Append(trace.Record{Kind: trace.KMsgSend, PID: fy.Intern("rec#2"), Thread: 2, Frame: rs,
+		Target: fy.Intern("x#1"), Taint: []trace.OpID{read}, TS: 8})
 	fy.PIDs = []string{"crash#1", "rec#2"}
 
 	res := DetectRecovery(hb.New(ff), hb.New(fy), "wl")
@@ -275,9 +275,9 @@ func TestDetectRecoveryNoCrashNoReports(t *testing.T) {
 
 func TestSiteIndexSkipsCrashRecords(t *testing.T) {
 	tr := trace.New()
-	s := tr.Append(trace.Record{Kind: trace.KThreadStart, PID: "p#1", Thread: 1, Causor: trace.NoOp})
-	tr.Append(trace.Record{Kind: trace.KCrash, PID: "system", Site: "x.go:1"})
-	op := tr.Append(trace.Record{Kind: trace.KHeapWrite, PID: "p#1", Thread: 1, Frame: s, Res: "heap:p#1:o.f", Site: "x.go:1"})
+	s := tr.Append(trace.Record{Kind: trace.KThreadStart, PID: tr.Intern("p#1"), Thread: 1, Causor: trace.NoOp})
+	tr.Append(trace.Record{Kind: trace.KCrash, PID: tr.Intern("system"), Site: tr.Intern("x.go:1")})
+	op := tr.Append(trace.Record{Kind: trace.KHeapWrite, PID: tr.Intern("p#1"), Thread: 1, Frame: s, Res: tr.Intern("heap:p#1:o.f"), Site: tr.Intern("x.go:1")})
 	ix := trace.BuildIndex(tr)
 	if got := occurrence(ix, tr.At(op)); got != 1 {
 		t.Fatalf("occurrence = %d, want 1 (crash bookkeeping must not count)", got)

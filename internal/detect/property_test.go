@@ -16,9 +16,9 @@ import (
 func genRegularTrace(seed int64) *trace.Trace {
 	rng := rand.New(rand.NewSource(seed))
 	tr := trace.New()
-	aStart := tr.Append(trace.Record{Kind: trace.KThreadStart, PID: "a#1", Thread: 1, Causor: trace.NoOp})
-	bStart := tr.Append(trace.Record{Kind: trace.KThreadStart, PID: "b#1", Thread: 2, Causor: trace.NoOp})
-	localStart := tr.Append(trace.Record{Kind: trace.KThreadStart, PID: "b#1", Thread: 3, Causor: trace.NoOp})
+	aStart := tr.Append(trace.Record{Kind: trace.KThreadStart, PID: tr.Intern("a#1"), Thread: 1, Causor: trace.NoOp})
+	bStart := tr.Append(trace.Record{Kind: trace.KThreadStart, PID: tr.Intern("b#1"), Thread: 2, Causor: trace.NoOp})
+	localStart := tr.Append(trace.Record{Kind: trace.KThreadStart, PID: tr.Intern("b#1"), Thread: 3, Causor: trace.NoOp})
 
 	nCVs := 1 + rng.Intn(4)
 	ts := int64(10)
@@ -32,19 +32,19 @@ func genRegularTrace(seed int64) *trace.Trace {
 			if rng.Intn(2) == 0 {
 				flags = trace.FlagTimedWait
 			}
-			tr.Append(trace.Record{Kind: trace.KWait, PID: "b#1", Thread: 2, Frame: bStart,
-				Res: cv, Flags: flags, TS: ts, Site: fmt.Sprintf("w%d.go:1", rng.Intn(6))})
+			tr.Append(trace.Record{Kind: trace.KWait, PID: tr.Intern("b#1"), Thread: 2, Frame: bStart,
+				Res: tr.Intern(cv), Flags: flags, TS: ts, Site: tr.Intern(fmt.Sprintf("w%d.go:1", rng.Intn(6)))})
 		case 1: // remote-caused signal: a#1 sends, handler on b signals
-			send := tr.Append(trace.Record{Kind: trace.KMsgSend, PID: "a#1", Thread: 1, Frame: aStart,
-				Target: "b#1", TS: ts, Site: fmt.Sprintf("s%d.go:1", rng.Intn(6))})
-			h := tr.Append(trace.Record{Kind: trace.KHandlerBegin, PID: "b#1", Thread: nextThread,
+			send := tr.Append(trace.Record{Kind: trace.KMsgSend, PID: tr.Intern("a#1"), Thread: 1, Frame: aStart,
+				Target: tr.Intern("b#1"), TS: ts, Site: tr.Intern(fmt.Sprintf("s%d.go:1", rng.Intn(6)))})
+			h := tr.Append(trace.Record{Kind: trace.KHandlerBegin, PID: tr.Intern("b#1"), Thread: nextThread,
 				Frame: bStart, Causor: send})
-			tr.Append(trace.Record{Kind: trace.KSignal, PID: "b#1", Thread: nextThread, Frame: h,
-				Res: cv, TS: ts + 1, Site: fmt.Sprintf("g%d.go:1", rng.Intn(6))})
+			tr.Append(trace.Record{Kind: trace.KSignal, PID: tr.Intern("b#1"), Thread: nextThread, Frame: h,
+				Res: tr.Intern(cv), TS: ts + 1, Site: tr.Intern(fmt.Sprintf("g%d.go:1", rng.Intn(6)))})
 			nextThread++
 		case 2: // purely local signal
-			tr.Append(trace.Record{Kind: trace.KSignal, PID: "b#1", Thread: 3, Frame: localStart,
-				Res: cv, TS: ts, Site: fmt.Sprintf("l%d.go:1", rng.Intn(6))})
+			tr.Append(trace.Record{Kind: trace.KSignal, PID: tr.Intern("b#1"), Thread: 3, Frame: localStart,
+				Res: tr.Intern(cv), TS: ts, Site: tr.Intern(fmt.Sprintf("l%d.go:1", rng.Intn(6)))})
 		}
 	}
 	return tr

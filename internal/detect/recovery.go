@@ -18,17 +18,43 @@ type RecoveryResult struct {
 
 // isConsumer reports whether a record consumes shared-resource content for
 // conflict purposes: read-like ops, plus creates (which consume the prior
-// existence state — the HB2 Create-vs-Create pattern).
-func isConsumer(r *trace.Record) bool {
+// existence state — the HB2 Create-vs-Create pattern). createSym is the
+// owning trace's Sym for "create".
+func isConsumer(r *trace.Record, createSym trace.Sym) bool {
 	if r.Kind.IsReadLike() {
 		return true
 	}
-	return r.Kind == trace.KStCreate || (r.Kind == trace.KKVUpdate && r.Aux == "create")
+	return r.Kind == trace.KStCreate || (r.Kind == trace.KKVUpdate && r.Aux == createSym && r.Aux != trace.NoSym)
 }
 
-// isPersistentRes reports whether the resource survives a process crash.
-func isPersistentRes(res string) bool {
-	return strings.HasPrefix(res, "gfs:") || strings.HasPrefix(res, "lfs:") || strings.HasPrefix(res, "zk:")
+// Per-Sym resource classification, computed once per trace so the pair loops
+// never touch strings.
+const (
+	resSkip       uint8 = 1 << iota // cv: instances and the crashed node's heap
+	resPersistent                   // gfs:/lfs:/zk: — survives a process crash
+	resHeap                         // heap: of any process
+)
+
+// classifyRes walks a trace's symbol table once and returns the dense per-Sym
+// classification slice.
+func classifyRes(t *trace.Trace, crashed string) []uint8 {
+	out := make([]uint8, t.NumSyms())
+	crashedHeap := "heap:" + crashed + ":"
+	for y := 1; y < t.NumSyms(); y++ {
+		s := t.Str(trace.Sym(y))
+		switch {
+		case strings.HasPrefix(s, "cv:"):
+			out[y] = resSkip
+		case strings.HasPrefix(s, "heap:"):
+			out[y] = resHeap
+			if strings.HasPrefix(s, crashedHeap) {
+				out[y] |= resSkip // heap content dies with the node
+			}
+		case strings.HasPrefix(s, "gfs:") || strings.HasPrefix(s, "lfs:") || strings.HasPrefix(s, "zk:"):
+			out[y] = resPersistent
+		}
+	}
+	return out
 }
 
 // isImpactSink matches the failure-prone impact sinks of Section 4.3.3:
@@ -63,13 +89,23 @@ func DetectRecoveryOpts(gf, gy *hb.Graph, workload string, opts Options) *Recove
 	crashedRole := roleOf(crashed)
 	ixF, ixY := gf.Ix, gy.Ix
 
+	// Symbols are trace-local: classify each trace's resources once, and
+	// translate faulty-run Syms to fault-free Syms where the pair loops
+	// compare across traces.
+	classY := classifyRes(ty, crashed)
+	classF := classifyRes(tf, crashed)
+	mYF := ty.SymMapTo(tf)
+	createY, _ := ty.Lookup("create")
+
 	// --- Step 1: recovery operations in the faulty run (Section 4.3.1).
 	// Recovery nodes are processes that exist in the faulty trace but not in
 	// the fault-free trace; registered recovery handlers add more roots.
-	recPIDs := map[string]bool{}
+	recPIDs := make([]bool, ty.NumSyms())
 	for _, pid := range ty.PIDs {
 		if !tf.HasPID(pid) && pid != "system" {
-			recPIDs[pid] = true
+			if y, ok := ty.Lookup(pid); ok {
+				recPIDs[y] = true
+			}
 			res.RecoveryPIDs = append(res.RecoveryPIDs, pid)
 		}
 	}
@@ -89,24 +125,20 @@ func DetectRecoveryOpts(gf, gy *hb.Graph, workload string, opts Options) *Recove
 	// earliestRecWrite is the first successful recovery write per resource —
 	// all reset (data-dependence) pruning needs, replacing the per-pair scan
 	// over every recovery write.
-	earliestRecWrite := map[string]trace.OpID{}
+	earliestRecWrite := make([]trace.OpID, ty.NumSyms())
 	for i := range ty.Records {
 		r := &ty.Records[i]
 		if !recOps[r.ID] {
 			continue
 		}
-		if r.Res == "" || strings.HasPrefix(r.Res, "cv:") {
+		if r.Res == trace.NoSym || classY[r.Res]&resSkip != 0 {
 			continue
 		}
-		// Heap content of the crashed process is wiped; ignore it.
-		if strings.HasPrefix(r.Res, "heap:"+crashed+":") {
-			continue
-		}
-		if isConsumer(r) {
+		if isConsumer(r, createY) {
 			recReads = append(recReads, r)
 		}
 		if r.Kind.IsWriteLike() && !r.HasFlag(trace.FlagFailed) {
-			if cur, ok := earliestRecWrite[r.Res]; !ok || r.ID < cur {
+			if cur := earliestRecWrite[r.Res]; cur == trace.NoOp || r.ID < cur {
 				earliestRecWrite[r.Res] = r.ID
 			}
 		}
@@ -114,40 +146,59 @@ func DetectRecoveryOpts(gf, gy *hb.Graph, workload string, opts Options) *Recove
 	// recReads is in ID order already: the loop above walks the trace.
 
 	// --- Step 2: crash operations, from the fault-free trace — what the
-	// crashing node did and *could have done* had it lived longer.
-	crashWrites := map[string][]*trace.Record{} // resource -> writes
+	// crashing node did and *could have done* had it lived longer. Each
+	// write's site/PID are translated to faulty-run Syms once here, so the
+	// pair loop compares integers.
+	type crashWrite struct {
+		r            *trace.Record
+		siteY, pidY  trace.Sym // w.Site/w.PID in ty's table
+		siteOK, pidOK bool     // false: the string never appears in ty
+	}
+	crashWrites := make([][]crashWrite, tf.NumSyms()) // indexed by tf res Sym
 	addCrashWrite := func(r *trace.Record) {
-		if r.Res == "" || strings.HasPrefix(r.Res, "cv:") || r.HasFlag(trace.FlagFailed) {
+		if r.Res == trace.NoSym || classF[r.Res]&resSkip != 0 || r.HasFlag(trace.FlagFailed) {
 			return
 		}
-		if strings.HasPrefix(r.Res, "heap:"+crashed+":") {
-			return // dies with the node
-		}
-		crashWrites[r.Res] = append(crashWrites[r.Res], r)
+		w := crashWrite{r: r}
+		w.siteY, w.siteOK = ty.Lookup(tf.Str(r.Site))
+		w.pidY, w.pidOK = ty.Lookup(tf.Str(r.PID))
+		crashWrites[r.Res] = append(crashWrites[r.Res], w)
 	}
+	crashedSymF, crashedInF := tf.Lookup(crashed)
 	remote := gf.ForwardClosureDense(gf.EscapingSeeds(crashed))
 	for i := range tf.Records {
 		r := &tf.Records[i]
 		if !r.Kind.IsWriteLike() {
 			continue
 		}
-		if r.PID == crashed && isPersistentRes(r.Res) {
+		cls := uint8(0)
+		if r.Res != trace.NoSym {
+			cls = classF[r.Res]
+		}
+		if crashedInF && r.PID == crashedSymF && cls&resPersistent != 0 {
 			addCrashWrite(r)
 			continue
 		}
-		if remote[r.ID] && (isPersistentRes(r.Res) || strings.HasPrefix(r.Res, "heap:")) {
+		if remote[r.ID] && cls&(resPersistent|resHeap) != 0 {
 			addCrashWrite(r)
 		}
 	}
 
 	// --- Step 3: conflicting pairs by resource ID.
 	type pair struct {
-		w, r *trace.Record
+		w *crashWrite
+		r *trace.Record
 	}
 	var pairs []pair
 	for _, r := range recReads {
-		for _, w := range crashWrites[r.Res] {
-			if w.Site == r.Site && w.PID == r.PID {
+		fres := mYF[r.Res]
+		if fres == trace.NoSym {
+			continue // resource never appears in the fault-free run
+		}
+		ws := crashWrites[fres]
+		for i := range ws {
+			w := &ws[i]
+			if w.siteOK && w.pidOK && w.siteY == r.Site && w.pidY == r.PID {
 				continue // same static op from the same process: no conflict
 			}
 			pairs = append(pairs, pair{w: w, r: r})
@@ -158,7 +209,7 @@ func DetectRecoveryOpts(gf, gy *hb.Graph, workload string, opts Options) *Recove
 	// If recovery read R2 control-depends on recovery read R1 and both touch
 	// the same resource, R1 is the sanity check protecting R2.
 	inCandidates := map[trace.OpID]bool{}
-	byRes := map[string][]*trace.Record{}
+	byRes := map[trace.Sym][]*trace.Record{}
 	for _, p := range pairs {
 		if !inCandidates[p.r.ID] {
 			inCandidates[p.r.ID] = true
@@ -182,8 +233,8 @@ func DetectRecoveryOpts(gf, gy *hb.Graph, workload string, opts Options) *Recove
 	// --- Step 4b: data-dependence (reset) pruning. A recovery write to the
 	// same resource before R means recovery replaced the left-over content.
 	resetProtected := func(r *trace.Record) bool {
-		w, ok := earliestRecWrite[r.Res]
-		return ok && w < r.ID
+		w := earliestRecWrite[r.Res]
+		return w != trace.NoOp && w < r.ID
 	}
 
 	// --- Step 4c: impact estimation. R must reach a failure-prone sink
@@ -228,24 +279,29 @@ func DetectRecoveryOpts(gf, gy *hb.Graph, workload string, opts Options) *Recove
 		// Trigger timing (Section 5): if W already executed before the crash
 		// in the faulty run, inject the crash right before it; if it only
 		// appears in the fault-free continuation, inject right after it.
-		occF := occurrence(ixF, p.w)
-		inFaulty := len(ixY.BySite[p.w.Site]) >= occF
+		occF := occurrence(ixF, p.w.r)
+		var faultySite []trace.OpID
+		if p.w.siteOK {
+			faultySite = ixY.SiteIDs(p.w.siteY)
+		}
+		inFaulty := len(faultySite) >= occF
 		if inFaulty {
 			// Confirm the occurrence in the faulty run predates the crash
 			// (it must, by prefix equality, but stay defensive).
-			id := ixY.BySite[p.w.Site][occF-1]
+			id := faultySite[occF-1]
 			if rec := ty.At(id); rec == nil || rec.TS > ty.CrashStep {
 				inFaulty = false
 			}
 		}
 
+		resStr := ty.Str(p.r.Res)
 		reports = append(reports, &Report{
 			Type:            CrashRecovery,
-			OpsDesc:         opsDesc(p.w, p.r),
-			Resource:        p.r.Res,
-			ResClass:        normalizeRes(p.r.Res),
-			W:               summarize(p.w, occF),
-			R:               summarize(p.r, occurrence(ixY, p.r)),
+			OpsDesc:         opsDesc(tf, p.w.r, ty, p.r),
+			Resource:        resStr,
+			ResClass:        normalizeRes(resStr),
+			W:               summarize(tf, p.w.r, occF),
+			R:               summarize(ty, p.r, occurrence(ixY, p.r)),
 			WInFaultyRun:    inFaulty,
 			CrashTargetPID:  crashed,
 			CrashTargetRole: crashedRole,
@@ -265,12 +321,13 @@ func containsOp(set []trace.OpID, id trace.OpID) bool {
 	return false
 }
 
-// opsDesc renders the Table 2 "Operations" column for a pair.
-func opsDesc(w, r *trace.Record) string {
-	return opName(w) + " vs " + opName(r)
+// opsDesc renders the Table 2 "Operations" column for a pair; each record's
+// Syms resolve through its own trace.
+func opsDesc(tw *trace.Trace, w *trace.Record, tr *trace.Trace, r *trace.Record) string {
+	return opName(tw, w) + " vs " + opName(tr, r)
 }
 
-func opName(r *trace.Record) string {
+func opName(t *trace.Trace, r *trace.Record) string {
 	switch r.Kind {
 	case trace.KHeapWrite:
 		return "Write"
@@ -295,7 +352,7 @@ func opName(r *trace.Record) string {
 	case trace.KWait:
 		return "Wait"
 	case trace.KKVUpdate:
-		switch r.Aux {
+		switch t.Str(r.Aux) {
 		case "create":
 			return "Create"
 		case "delete":

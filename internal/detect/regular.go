@@ -19,7 +19,7 @@ type RegularResult struct {
 // old linear scan per candidate. Records the index skipped (fault
 // bookkeeping, empty sites) keep the old scan's semantics: occurrence 1.
 func occurrence(ix *trace.Index, r *trace.Record) int {
-	ids := ix.BySite[r.Site]
+	ids := ix.SiteIDs(r.Site)
 	i := sort.Search(len(ids), func(k int) bool { return ids[k] >= r.ID })
 	if i < len(ids) && ids[i] == r.ID {
 		return i + 1
@@ -60,16 +60,28 @@ func DetectRegularOpts(g *hb.Graph, workload string, opts Options) *RegularResul
 	}
 
 	// --- Standard condition-variable signal/wait pairs (Section 4.2.1). ---
-	var cvResIDs []string
-	for resID := range g.Ix.ByRes {
-		if len(resID) >= 3 && resID[:3] == "cv:" {
-			cvResIDs = append(cvResIDs, resID)
+	// Resolve cv resources to strings and sort them: the symbol table is in
+	// interning order, and the old map-keyed code sorted strings, so sorting
+	// here keeps report order byte-identical.
+	type cvRes struct {
+		str string
+		sym trace.Sym
+	}
+	var cvResIDs []cvRes
+	for y := 1; y < t.NumSyms(); y++ {
+		if len(g.Ix.ResIDs(trace.Sym(y))) == 0 {
+			continue
+		}
+		s := t.Str(trace.Sym(y))
+		if len(s) >= 3 && s[:3] == "cv:" {
+			cvResIDs = append(cvResIDs, cvRes{str: s, sym: trace.Sym(y)})
 		}
 	}
-	sort.Strings(cvResIDs)
-	for _, resID := range cvResIDs {
+	sort.Slice(cvResIDs, func(i, j int) bool { return cvResIDs[i].str < cvResIDs[j].str })
+	for _, cv := range cvResIDs {
+		resID := cv.str
 		var waits, signals []*trace.Record
-		for _, id := range g.Ix.ByRes[resID] {
+		for _, id := range g.Ix.ResIDs(cv.sym) {
 			r := t.At(id)
 			switch r.Kind {
 			case trace.KWait:
@@ -93,17 +105,17 @@ func DetectRegularOpts(g *hb.Graph, workload string, opts Options) *RegularResul
 			if wp == nil {
 				continue // the signal is purely local; no fault can remove it
 			}
-			wps := summarize(wp, occurrence(ix, wp))
+			wps := summarize(t, wp, occurrence(ix, wp))
 			rep := &Report{
 				Type:            CrashRegular,
 				OpsDesc:         "Signal vs Wait",
 				Resource:        resID,
 				ResClass:        normalizeRes(resID),
-				W:               summarize(sig, occurrence(ix, sig)),
-				R:               summarize(w, occurrence(ix, w)),
+				W:               summarize(t, sig, occurrence(ix, sig)),
+				R:               summarize(t, w, occurrence(ix, w)),
 				WPrime:          &wps,
-				CrashTargetPID:  wp.PID,
-				CrashTargetRole: roleOf(wp.PID),
+				CrashTargetPID:  wps.PID,
+				CrashTargetRole: roleOf(wps.PID),
 				Workload:        workload,
 			}
 			addCandidate(rep, w.HasFlag(trace.FlagTimedWait))
@@ -141,17 +153,18 @@ func DetectRegularOpts(g *hb.Graph, workload string, opts Options) *RegularResul
 			if wp == nil {
 				continue
 			}
-			wps := summarize(wp, occurrence(ix, wp))
+			wps := summarize(t, wp, occurrence(ix, wp))
+			resStr := t.Str(r.Res)
 			rep := &Report{
 				Type:            CrashRegular,
 				OpsDesc:         "Write vs Loop",
-				Resource:        r.Res,
-				ResClass:        normalizeRes(r.Res),
-				W:               summarize(w, occurrence(ix, w)),
-				R:               summarize(r, occurrence(ix, r)),
+				Resource:        resStr,
+				ResClass:        normalizeRes(resStr),
+				W:               summarize(t, w, occurrence(ix, w)),
+				R:               summarize(t, r, occurrence(ix, r)),
 				WPrime:          &wps,
-				CrashTargetPID:  wp.PID,
-				CrashTargetRole: roleOf(wp.PID),
+				CrashTargetPID:  wps.PID,
+				CrashTargetRole: roleOf(wps.PID),
 				Workload:        workload,
 			}
 			addCandidate(rep, timeBased)

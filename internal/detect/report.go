@@ -43,8 +43,14 @@ type OpSummary struct {
 	Occurrence int
 }
 
-func summarize(r *trace.Record, occ int) OpSummary {
-	return OpSummary{Op: r.ID, Kind: r.Kind, Site: r.Site, PID: r.PID, Aux: r.Aux, TS: r.TS, Occurrence: occ}
+// summarize resolves a record's Syms through its owning trace: reports carry
+// plain strings so they survive the trace they came from.
+func summarize(t *trace.Trace, r *trace.Record, occ int) OpSummary {
+	return OpSummary{
+		Op: r.ID, Kind: r.Kind,
+		Site: t.Str(r.Site), PID: t.Str(r.PID), Aux: t.Str(r.Aux),
+		TS: r.TS, Occurrence: occ,
+	}
 }
 
 // Report is one predicted TOF bug.

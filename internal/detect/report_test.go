@@ -30,7 +30,8 @@ func TestBugTypeString(t *testing.T) {
 }
 
 func TestOpsDescNames(t *testing.T) {
-	mk := func(k trace.Kind, aux string) *trace.Record { return &trace.Record{Kind: k, Aux: aux} }
+	tr := trace.New()
+	mk := func(k trace.Kind, aux string) *trace.Record { return &trace.Record{Kind: k, Aux: tr.Intern(aux)} }
 	cases := []struct {
 		w, r *trace.Record
 		want string
@@ -44,7 +45,7 @@ func TestOpsDescNames(t *testing.T) {
 		{mk(trace.KStRename, ""), mk(trace.KStRead, ""), "Rename vs Read"},
 	}
 	for _, c := range cases {
-		if got := opsDesc(c.w, c.r); got != c.want {
+		if got := opsDesc(tr, c.w, tr, c.r); got != c.want {
 			t.Errorf("opsDesc = %q, want %q", got, c.want)
 		}
 	}

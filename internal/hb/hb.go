@@ -19,6 +19,10 @@ import (
 type Graph struct {
 	Ix *trace.Index
 
+	// systemSym is the trace's Sym for the synthetic "system" PID (a sentinel
+	// that matches nothing when the trace recorded no system ops).
+	systemSym trace.Sym
+
 	mu       sync.Mutex
 	chains   map[trace.OpID][]trace.OpID // memoized BackwardChain results (lazily allocated)
 	crossAnc map[trace.OpID]trace.OpID   // memoized CrossNodeAncestor (NoOp = no remote ancestor)
@@ -28,7 +32,13 @@ type Graph struct {
 // graphs used only for closures (like the faulty-run graph in the recovery
 // detector) never pay for them.
 func New(t *trace.Trace) *Graph {
-	return &Graph{Ix: trace.BuildIndex(t)}
+	g := &Graph{Ix: trace.BuildIndex(t)}
+	if y, ok := t.Lookup("system"); ok {
+		g.systemSym = y
+	} else {
+		g.systemSym = ^trace.Sym(0)
+	}
+	return g
 }
 
 // ForwardClosure is Algorithm 1: the set of operations that causally depend
@@ -176,7 +186,7 @@ func (g *Graph) CrossNodeAncestor(op trace.OpID) *trace.Record {
 		if ar.Kind == trace.KKVNotify {
 			continue
 		}
-		if ar.PID != r.PID && ar.PID != "system" {
+		if ar.PID != r.PID && ar.PID != g.systemSym {
 			found = ar
 			break
 		}
@@ -197,15 +207,19 @@ func (g *Graph) CrossNodeAncestor(op trace.OpID) *trace.Record {
 // LogicallyFrom reports whether op causally comes from process pid — it
 // physically executes there, or some causor ancestor does.
 func (g *Graph) LogicallyFrom(op trace.OpID, pid string) bool {
+	y, ok := g.Ix.T.Lookup(pid)
+	if !ok {
+		return false
+	}
 	r := g.Ix.T.At(op)
 	if r == nil {
 		return false
 	}
-	if r.PID == pid {
+	if r.PID == y {
 		return true
 	}
 	for _, anc := range g.BackwardChain(op) {
-		if ar := g.Ix.T.At(anc); ar != nil && ar.PID == pid {
+		if ar := g.Ix.T.At(anc); ar != nil && ar.PID == y {
 			return true
 		}
 	}
@@ -217,16 +231,20 @@ func (g *Graph) LogicallyFrom(op trace.OpID, pid string) bool {
 // processes, and KV updates (shared persistent state). These seed the
 // crash-op identification of Section 4.3.1.
 func (g *Graph) EscapingSeeds(pid string) []trace.OpID {
+	y, ok := g.Ix.T.Lookup(pid)
+	if !ok {
+		return nil
+	}
 	var out []trace.OpID
 	for _, k := range []trace.Kind{trace.KRPCCall, trace.KMsgSend, trace.KEventEnq, trace.KKVUpdate} {
 		for _, id := range g.Ix.ByKind[k] {
 			r := g.Ix.T.At(id)
-			if r.PID != pid {
+			if r.PID != y {
 				continue
 			}
 			switch k {
 			case trace.KRPCCall, trace.KMsgSend:
-				if r.Target != "" && r.Target != pid {
+				if r.Target != trace.NoSym && r.Target != y {
 					out = append(out, id)
 				}
 			case trace.KKVUpdate:
@@ -234,7 +252,7 @@ func (g *Graph) EscapingSeeds(pid string) []trace.OpID {
 			case trace.KEventEnq:
 				// Intra-node events stay on the crashing node; only
 				// cross-process posts escape.
-				if r.Target != "" && r.Target != pid {
+				if r.Target != trace.NoSym && r.Target != y {
 					out = append(out, id)
 				}
 			}

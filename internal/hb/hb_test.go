@@ -15,16 +15,17 @@ import (
 func build() (*trace.Trace, map[string]trace.OpID) {
 	tr := trace.New()
 	ids := map[string]trace.OpID{}
+	y := tr.Intern
 
-	ids["a.start"] = tr.Append(trace.Record{Kind: trace.KThreadStart, PID: "a#1", Thread: 1, Causor: trace.NoOp})
-	ids["b.start"] = tr.Append(trace.Record{Kind: trace.KThreadStart, PID: "b#1", Thread: 2, Causor: trace.NoOp})
-	ids["send"] = tr.Append(trace.Record{Kind: trace.KMsgSend, PID: "a#1", Thread: 1, Frame: ids["a.start"], Target: "b#1", Aux: "m"})
-	ids["h.begin"] = tr.Append(trace.Record{Kind: trace.KHandlerBegin, PID: "b#1", Thread: 2, Frame: ids["b.start"], Causor: ids["send"], Aux: "msg:m"})
-	ids["W"] = tr.Append(trace.Record{Kind: trace.KHeapWrite, PID: "b#1", Thread: 2, Frame: ids["h.begin"], Res: "heap:b#1:o.f"})
-	ids["enq"] = tr.Append(trace.Record{Kind: trace.KEventEnq, PID: "b#1", Thread: 2, Frame: ids["h.begin"], Aux: "e"})
-	ids["e.begin"] = tr.Append(trace.Record{Kind: trace.KHandlerBegin, PID: "b#1", Thread: 3, Frame: ids["b.start"], Causor: ids["enq"], Aux: "event:e"})
-	ids["W2"] = tr.Append(trace.Record{Kind: trace.KHeapWrite, PID: "b#1", Thread: 3, Frame: ids["e.begin"], Res: "heap:b#1:o.g"})
-	ids["R"] = tr.Append(trace.Record{Kind: trace.KHeapRead, PID: "b#1", Thread: 2, Frame: ids["b.start"], Res: "heap:b#1:o.f", Src: ids["W"]})
+	ids["a.start"] = tr.Append(trace.Record{Kind: trace.KThreadStart, PID: y("a#1"), Thread: 1, Causor: trace.NoOp})
+	ids["b.start"] = tr.Append(trace.Record{Kind: trace.KThreadStart, PID: y("b#1"), Thread: 2, Causor: trace.NoOp})
+	ids["send"] = tr.Append(trace.Record{Kind: trace.KMsgSend, PID: y("a#1"), Thread: 1, Frame: ids["a.start"], Target: y("b#1"), Aux: y("m")})
+	ids["h.begin"] = tr.Append(trace.Record{Kind: trace.KHandlerBegin, PID: y("b#1"), Thread: 2, Frame: ids["b.start"], Causor: ids["send"], Aux: y("msg:m")})
+	ids["W"] = tr.Append(trace.Record{Kind: trace.KHeapWrite, PID: y("b#1"), Thread: 2, Frame: ids["h.begin"], Res: y("heap:b#1:o.f")})
+	ids["enq"] = tr.Append(trace.Record{Kind: trace.KEventEnq, PID: y("b#1"), Thread: 2, Frame: ids["h.begin"], Aux: y("e")})
+	ids["e.begin"] = tr.Append(trace.Record{Kind: trace.KHandlerBegin, PID: y("b#1"), Thread: 3, Frame: ids["b.start"], Causor: ids["enq"], Aux: y("event:e")})
+	ids["W2"] = tr.Append(trace.Record{Kind: trace.KHeapWrite, PID: y("b#1"), Thread: 3, Frame: ids["e.begin"], Res: y("heap:b#1:o.g")})
+	ids["R"] = tr.Append(trace.Record{Kind: trace.KHeapRead, PID: y("b#1"), Thread: 2, Frame: ids["b.start"], Res: y("heap:b#1:o.f"), Src: ids["W"]})
 	return tr, ids
 }
 
@@ -133,12 +134,13 @@ func TestCrossNodeAncestor(t *testing.T) {
 
 func TestCrossNodeAncestorSkipsKVNotify(t *testing.T) {
 	tr := trace.New()
-	aStart := tr.Append(trace.Record{Kind: trace.KThreadStart, PID: "a#1", Thread: 1, Causor: trace.NoOp})
-	update := tr.Append(trace.Record{Kind: trace.KKVUpdate, PID: "a#1", Thread: 1, Frame: aStart, Res: "zk:/x", Aux: "set"})
-	notify := tr.Append(trace.Record{Kind: trace.KKVNotify, PID: "a#1", Thread: 1, Frame: aStart, Res: "zk:/x", Causor: update, Target: "b#1"})
-	bStart := tr.Append(trace.Record{Kind: trace.KThreadStart, PID: "b#1", Thread: 2, Causor: trace.NoOp})
-	hBegin := tr.Append(trace.Record{Kind: trace.KHandlerBegin, PID: "b#1", Thread: 2, Frame: bStart, Causor: notify})
-	w := tr.Append(trace.Record{Kind: trace.KHeapWrite, PID: "b#1", Thread: 2, Frame: hBegin, Res: "heap:b#1:o.f"})
+	y := tr.Intern
+	aStart := tr.Append(trace.Record{Kind: trace.KThreadStart, PID: y("a#1"), Thread: 1, Causor: trace.NoOp})
+	update := tr.Append(trace.Record{Kind: trace.KKVUpdate, PID: y("a#1"), Thread: 1, Frame: aStart, Res: y("zk:/x"), Aux: y("set")})
+	notify := tr.Append(trace.Record{Kind: trace.KKVNotify, PID: y("a#1"), Thread: 1, Frame: aStart, Res: y("zk:/x"), Causor: update, Target: y("b#1")})
+	bStart := tr.Append(trace.Record{Kind: trace.KThreadStart, PID: y("b#1"), Thread: 2, Causor: trace.NoOp})
+	hBegin := tr.Append(trace.Record{Kind: trace.KHandlerBegin, PID: y("b#1"), Thread: 2, Frame: bStart, Causor: notify})
+	w := tr.Append(trace.Record{Kind: trace.KHeapWrite, PID: y("b#1"), Thread: 2, Frame: hBegin, Res: y("heap:b#1:o.f")})
 
 	g := hb.New(tr)
 	wp := g.CrossNodeAncestor(w)

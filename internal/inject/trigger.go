@@ -155,11 +155,16 @@ func (tg *Triggerer) classify(c *sim.Cluster, out *sim.Outcome, rep *detect.Repo
 	// The dependence requirement keeps unrelated recovery-path exceptions
 	// from contaminating other reports' verdicts.
 	if tr := c.Trace(); tr != nil {
+		// The report carries the site as a string; this run's trace has its
+		// own symbol table, so resolve once and compare Syms from there on.
+		siteY, siteOK := tr.Lookup(rep.R.Site)
 		rOps := map[trace.OpID]bool{}
-		for i := range tr.Records {
-			r := &tr.Records[i]
-			if r.Site != "" && r.Site == rep.R.Site {
-				rOps[r.ID] = true
+		if siteOK && siteY != trace.NoSym {
+			for i := range tr.Records {
+				r := &tr.Records[i]
+				if r.Site == siteY {
+					rOps[r.ID] = true
+				}
 			}
 		}
 		for i := range tr.Records {
@@ -169,12 +174,12 @@ func (tg *Triggerer) classify(c *sim.Cluster, out *sim.Outcome, rep *detect.Repo
 			}
 			for _, t := range r.Taint {
 				if rOps[t] {
-					return Expected, "handled-exception", r.Aux + "@" + r.Site
+					return Expected, "handled-exception", tr.Str(r.Aux) + "@" + tr.Str(r.Site)
 				}
 			}
 			for _, t := range r.Ctl {
 				if rOps[t] {
-					return Expected, "handled-exception", r.Aux + "@" + r.Site
+					return Expected, "handled-exception", tr.Str(r.Aux) + "@" + tr.Str(r.Site)
 				}
 			}
 		}

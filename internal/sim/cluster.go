@@ -82,7 +82,8 @@ type Cluster struct {
 	convictSubs    map[string][]string // watched role -> subscriber PIDs (verb "convict")
 	recoveryLabels map[string]bool     // handler labels registered as recovery roots
 	pendingPlan    *FaultPlan
-	siteCounts     map[string]int // occurrences per site, for trigger points
+	siteCounts     map[string]int    // occurrences per site, for trigger points
+	siteCache      map[uintptr]string // PC -> rendered site ("" = substrate frame)
 	startWall      time.Time
 }
 
@@ -104,6 +105,7 @@ func NewCluster(cfg Config) *Cluster {
 		convictSubs:    make(map[string][]string),
 		recoveryLabels: make(map[string]bool),
 		siteCounts:     make(map[string]int),
+		siteCache:      make(map[uintptr]string),
 		pendingPlan:    cfg.Plan,
 	}
 	c.tracer = newTracer(c)
@@ -194,7 +196,7 @@ func (c *Cluster) RestartRole(role string, causor trace.OpID) string {
 		panic(fmt.Sprintf("sim: restart of unknown role %q", role))
 	}
 	pid := c.startIncarnation(role, c.bootMachine[role], main, causor)
-	c.tracer.emitSystem(trace.Record{Kind: trace.KRestart, Aux: pid})
+	c.tracer.emitSystem(opSpec{Kind: trace.KRestart, Aux: pid})
 	return pid
 }
 

@@ -17,6 +17,7 @@ type Cond struct {
 	node    *Node
 	id      int64
 	name    string
+	res     string // cached Res(), rendered once at creation
 	set     bool
 	payload Value
 	err     error
@@ -27,13 +28,15 @@ type Cond struct {
 func (ctx *Context) NewCond(name string) *Cond {
 	n := ctx.t.node
 	n.nextObj++
-	return &Cond{node: n, id: n.nextObj, name: name}
+	cv := &Cond{node: n, id: n.nextObj, name: name}
+	cv.res = fmt.Sprintf("cv:%s:%s/%d", n.PID, name, cv.id)
+	return cv
 }
 
 // Res is the trace resource ID of this condition instance. The name part is
 // the condition's *class*: report deduplication strips the PID and instance
 // number, so per-call instances (e.g. RPC reply latches) group together.
-func (cv *Cond) Res() string { return fmt.Sprintf("cv:%s:%s/%d", cv.node.PID, cv.name, cv.id) }
+func (cv *Cond) Res() string { return cv.res }
 
 // Signal sets the latch and wakes every waiter, delivering the first value
 // (or true) as the wait result. Its disappearance (the signalling node

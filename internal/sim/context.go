@@ -32,12 +32,10 @@ func (ctx *Context) Self() *Node { return ctx.t.node }
 // Scope pushes a callstack label (and a control-dependence scope) and
 // returns the function that pops it; use `defer ctx.Scope("name")()`.
 func (ctx *Context) Scope(label string) func() {
-	ctx.t.scopes = append(ctx.t.scopes, ctlFrame{label: label})
+	ctx.t.pushScope(ctx.c, ctlFrame{label: label})
 	depth := len(ctx.t.scopes)
 	return func() {
-		if len(ctx.t.scopes) >= depth {
-			ctx.t.scopes = ctx.t.scopes[:depth-1]
-		}
+		ctx.t.popScopesTo(depth - 1)
 	}
 }
 
@@ -46,7 +44,7 @@ func (ctx *Context) Scope(label string) func() {
 // control-dependence analysis) and returns v's truthiness.
 func (ctx *Context) Guard(v Value) bool {
 	if len(ctx.t.scopes) == 0 {
-		ctx.t.scopes = append(ctx.t.scopes, ctlFrame{label: "fn"})
+		ctx.t.pushScope(ctx.c, ctlFrame{label: "fn"})
 	}
 	top := &ctx.t.scopes[len(ctx.t.scopes)-1]
 	top.ctl = mergeTaints(top.ctl, v.taint)
@@ -71,7 +69,7 @@ func (ctx *Context) Sleep(ticks int64) {
 // Now reads the system clock; the returned value is tainted by a time-read
 // op, which is how the detectors see time-based loop exits (Section 4.2.2).
 func (ctx *Context) Now() Value {
-	id := ctx.c.tracer.emit(ctx.t, trace.Record{Kind: trace.KTimeRead, Site: ctx.site()})
+	id := ctx.c.tracer.emit(ctx.t, opSpec{Kind: trace.KTimeRead, Site: ctx.site()})
 	v := V(ctx.c.clock)
 	if id != trace.NoOp {
 		v = v.WithTaint(id)
@@ -84,7 +82,7 @@ func (ctx *Context) site() string {
 	if !ctx.c.needSites() {
 		return ""
 	}
-	return callsite()
+	return callsite(ctx.c.siteCache)
 }
 
 // OpReq describes one operation for the generic op pipeline: trigger check →
@@ -129,15 +127,15 @@ func (ctx *Context) Do(req OpReq) (id trace.OpID, dropAction TriggerAction, drop
 	if req.FlagsAfter != nil {
 		req.Flags |= req.FlagsAfter()
 	}
-	rec := trace.Record{
+	op := opSpec{
 		Kind: req.Kind, Res: req.Res, Aux: req.Aux, Target: req.Target,
 		Src: req.Src, Causor: req.Causor, Flags: req.Flags, Taint: req.Taint,
 		Site: site,
 	}
 	if dropped {
-		rec.Flags |= trace.FlagDropped
+		op.Flags |= trace.FlagDropped
 	}
-	id = ctx.c.tracer.emit(ctx.t, rec)
+	id = ctx.c.tracer.emit(ctx.t, op)
 	if req.PostEmit != nil {
 		req.PostEmit(id)
 	}
@@ -201,7 +199,7 @@ func (ctx *Context) runHandlerFrame(label string, causor trace.OpID, flags uint3
 	if ctx.c.recoveryLabels[label] {
 		flags |= trace.FlagRecoveryRoot
 	}
-	begin := ctx.c.tracer.emit(t, trace.Record{
+	begin := ctx.c.tracer.emit(t, opSpec{
 		Kind: trace.KHandlerBegin, Aux: label, Causor: causor, Flags: flags,
 	})
 	t.frameStack = append(t.frameStack, t.frame)
@@ -209,7 +207,7 @@ func (ctx *Context) runHandlerFrame(label string, causor trace.OpID, flags uint3
 	prevHandler := t.handlerCtx
 	t.handlerCtx = true
 	scopeDepth := len(t.scopes)
-	t.scopes = append(t.scopes, ctlFrame{label: label})
+	t.pushScope(ctx.c, ctlFrame{label: label})
 	prevHist := t.ctlHist
 	t.ctlHist = nil
 
@@ -222,10 +220,10 @@ func (ctx *Context) runHandlerFrame(label string, causor trace.OpID, flags uint3
 				panic(r)
 			}
 		}
-		t.scopes = t.scopes[:scopeDepth]
+		t.popScopesTo(scopeDepth)
 		t.handlerCtx = prevHandler
 		t.ctlHist = prevHist
-		ctx.c.tracer.emit(t, trace.Record{Kind: trace.KHandlerEnd, Aux: label})
+		ctx.c.tracer.emit(t, opSpec{Kind: trace.KHandlerEnd, Aux: label})
 		t.frame = t.frameStack[len(t.frameStack)-1]
 		t.frameStack = t.frameStack[:len(t.frameStack)-1]
 	}()

@@ -26,7 +26,7 @@ func TestThrowEmitsSinkWithTaints(t *testing.T) {
 	})
 	c.Run()
 	throws := recordsOf(c, trace.KThrow)
-	if len(throws) != 1 || throws[0].Aux != "TestException" {
+	if len(throws) != 1 || c.Trace().Str(throws[0].Aux) != "TestException" {
 		t.Fatalf("throw records = %v", throws)
 	}
 	if len(throws[0].Taint) == 0 || throws[0].Taint[0] != 99 {
@@ -63,7 +63,7 @@ func TestStartServiceIsTracedSink(t *testing.T) {
 	})
 	c.Run()
 	recs := recordsOf(c, trace.KServiceStart)
-	if len(recs) != 1 || recs[0].Aux != "db" || recs[0].Taint[0] != 3 {
+	if len(recs) != 1 || c.Trace().Str(recs[0].Aux) != "db" || recs[0].Taint[0] != 3 {
 		t.Fatalf("service-start records = %v", recs)
 	}
 }
@@ -82,7 +82,7 @@ func TestScopeLabelsAppearInCallstacks(t *testing.T) {
 	if len(recs) != 1 {
 		t.Fatalf("log records = %v", recs)
 	}
-	st := recs[0].Stack
+	st := c.Trace().StackLabels(recs[0].Stack)
 	if len(st) != 3 || st[0] != "main" || st[1] != "outer" || st[2] != "inner" {
 		t.Fatalf("stack = %v", st)
 	}

@@ -43,8 +43,8 @@ func TestCrashAtStepKillsProcess(t *testing.T) {
 	tr := c.Trace()
 	for i := range tr.Records {
 		r := &tr.Records[i]
-		if r.PID == "producer#1" && r.TS > tr.CrashStep && r.Kind != trace.KThreadExit {
-			t.Fatalf("producer op after crash: %s (crash at %d)", r.String(), tr.CrashStep)
+		if tr.Str(r.PID) == "producer#1" && r.TS > tr.CrashStep && r.Kind != trace.KThreadExit {
+			t.Fatalf("producer op after crash: %s (crash at %d)", tr.Format(r), tr.CrashStep)
 		}
 	}
 	if !out.Completed {
@@ -168,8 +168,8 @@ func TestTriggerCrashBeforeOp(t *testing.T) {
 	var site string
 	for i := range obs.Trace().Records {
 		r := &obs.Trace().Records[i]
-		if r.Kind == trace.KMsgSend && r.Aux == "marker" {
-			site = r.Site
+		if r.Kind == trace.KMsgSend && obs.Trace().Str(r.Aux) == "marker" {
+			site = obs.Trace().Str(r.Site)
 		}
 	}
 	if site == "" {
@@ -222,8 +222,8 @@ func TestTriggerOccurrenceCounting(t *testing.T) {
 	var site string
 	for i := range c.Trace().Records {
 		r := &c.Trace().Records[i]
-		if r.Kind == trace.KMsgSend && r.Aux == "n" {
-			site = r.Site
+		if r.Kind == trace.KMsgSend && c.Trace().Str(r.Aux) == "n" {
+			site = c.Trace().Str(r.Site)
 		}
 	}
 	// Crash the sender right before the 3rd send: only 1 and 2 arrive.
@@ -261,7 +261,7 @@ func TestDeterminismAcrossSeeds(t *testing.T) {
 		c.Run()
 		s := ""
 		for i := range c.Trace().Records {
-			s += c.Trace().Records[i].String() + "\n"
+			s += c.Trace().Format(&c.Trace().Records[i]) + "\n"
 		}
 		return s
 	}

@@ -110,7 +110,7 @@ func fuzzConfig(seed int64, plan *sim.FaultPlan) sim.Config {
 func traceString(t *trace.Trace) string {
 	var b strings.Builder
 	for i := range t.Records {
-		b.WriteString(t.Records[i].String())
+		b.WriteString(t.Format(&t.Records[i]))
 		b.WriteByte('\n')
 	}
 	return b.String()
@@ -152,9 +152,9 @@ func TestFuzzCheckpointPrefix(t *testing.T) {
 			if a.TS >= step || b.TS >= step {
 				break
 			}
-			if a.String() != b.String() {
+			if tf.Format(a) != ty.Format(b) {
 				t.Fatalf("genSeed %d crash@%d: prefix diverges at %d:\n  %s\n  %s",
-					genSeed, step, i, a.String(), b.String())
+					genSeed, step, i, tf.Format(a), ty.Format(b))
 			}
 		}
 	}
@@ -179,8 +179,8 @@ func TestFuzzCrashSemantics(t *testing.T) {
 		}
 		for i := range ty.Records {
 			r := &ty.Records[i]
-			if r.PID == "proc0#1" && r.TS > ty.CrashStep && r.Kind != trace.KThreadExit {
-				t.Fatalf("genSeed %d: victim op after crash: %s", genSeed, r.String())
+			if ty.Str(r.PID) == "proc0#1" && r.TS > ty.CrashStep && r.Kind != trace.KThreadExit {
+				t.Fatalf("genSeed %d: victim op after crash: %s", genSeed, ty.Format(r))
 			}
 		}
 	}
@@ -203,25 +203,25 @@ func TestFuzzTraceWellFormed(t *testing.T) {
 			if r.Frame != trace.NoOp {
 				f := tr.At(r.Frame)
 				if f == nil || !f.Kind.IsActivation() {
-					t.Fatalf("genSeed %d: op %s has bad frame", genSeed, r.String())
+					t.Fatalf("genSeed %d: op %s has bad frame", genSeed, tr.Format(r))
 				}
 				if f.ID >= r.ID {
-					t.Fatalf("genSeed %d: frame after op: %s", genSeed, r.String())
+					t.Fatalf("genSeed %d: frame after op: %s", genSeed, tr.Format(r))
 				}
 			}
 			if r.Kind.IsActivation() && r.Causor != trace.NoOp {
 				cz := tr.At(r.Causor)
 				if cz == nil || cz.ID >= r.ID {
-					t.Fatalf("genSeed %d: activation causor invalid: %s", genSeed, r.String())
+					t.Fatalf("genSeed %d: activation causor invalid: %s", genSeed, tr.Format(r))
 				}
 				if !cz.Kind.IsCausal() && cz.Kind != trace.KKVNotify {
-					t.Fatalf("genSeed %d: causor is not a causal op: %s <- %s", genSeed, r.String(), cz.String())
+					t.Fatalf("genSeed %d: causor is not a causal op: %s <- %s", genSeed, tr.Format(r), tr.Format(cz))
 				}
 			}
 			if r.Src != trace.NoOp && r.Kind.IsReadLike() {
 				w := tr.At(r.Src)
 				if w == nil || !w.Kind.IsWriteLike() || w.Res != r.Res || w.ID >= r.ID {
-					t.Fatalf("genSeed %d: bad define-use link: %s src=%d", genSeed, r.String(), r.Src)
+					t.Fatalf("genSeed %d: bad define-use link: %s src=%d", genSeed, tr.Format(r), r.Src)
 				}
 			}
 		}

@@ -61,8 +61,8 @@ func (ctx *Context) SyncLoop(opts LoopOpts, body func(*Context) Value) Value {
 			if likelySync {
 				frame.loop = &loopState{}
 			}
-			ctx.t.scopes = append(ctx.t.scopes, frame)
-			defer func() { ctx.t.scopes = ctx.t.scopes[:depth] }()
+			ctx.t.pushScope(ctx.c, frame)
+			defer func() { ctx.t.popScopesTo(depth) }()
 			cond = body(ctx)
 		}()
 		iters++

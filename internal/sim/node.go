@@ -15,6 +15,12 @@ type Node struct {
 	Role    string
 	Machine string
 
+	// pidSym/machineSym are PID and Machine interned into the run's trace
+	// once at node creation, so the tracer stamps them on every record
+	// without a table lookup (NoSym when tracing is off).
+	pidSym     trace.Sym
+	machineSym trace.Sym
+
 	crashed bool
 	threads []*Thread
 
@@ -53,6 +59,7 @@ type pendingRPC struct {
 func newNode(c *Cluster, pid, role, machine string) *Node {
 	return &Node{
 		c: c, PID: pid, Role: role, Machine: machine,
+		pidSym: c.tracer.sym(pid), machineSym: c.tracer.sym(machine),
 		objects:       make(map[int64]*Object),
 		rpcHandlers:   make(map[string]func(*Context, []Value) Value),
 		msgHandlers:   make(map[string]func(*Context, Message)),
@@ -224,7 +231,7 @@ func (c *Cluster) crashProcess(pid string, selfSite string) {
 	if c.services[n.Role] == pid {
 		delete(c.services, n.Role)
 	}
-	c.tracer.emitSystem(trace.Record{Kind: trace.KCrash, Aux: pid, Site: selfSite})
+	c.tracer.emitSystem(opSpec{Kind: trace.KCrash, Aux: pid, Site: selfSite})
 	if c.tracer.trace != nil && c.tracer.trace.CrashedPID == "" {
 		c.tracer.trace.CrashedPID = pid
 		c.tracer.trace.CrashStep = c.clock

@@ -12,6 +12,7 @@ import (
 type fieldSlot struct {
 	val       Value
 	lastWrite trace.OpID
+	res       string // cached resource ID, rendered once per field
 }
 
 // Object is a heap object owned by one process. Object IDs are deterministic
@@ -41,7 +42,7 @@ func (o *Object) ID() int64 { return o.id }
 // process id (not incarnation-free role) is part of it: heap content dies
 // with the process.
 func (o *Object) Res(field string) string {
-	return fmt.Sprintf("heap:%s:%s%d.%s", o.node.PID, o.class, o.id, field)
+	return o.slot(field).res
 }
 
 func (o *Object) checkAccess(ctx *Context) {
@@ -61,7 +62,7 @@ func (o *Object) Set(ctx *Context, field string, v Value) {
 	slot := o.slot(field)
 	ctx.Do(OpReq{
 		Kind:  trace.KHeapWrite,
-		Res:   o.Res(field),
+		Res:   slot.res,
 		Taint: v.taint,
 		Apply: func() {
 			slot.val = v
@@ -89,7 +90,7 @@ func (o *Object) Get(ctx *Context, field string) Value {
 	var out Value
 	id, _, _ := ctx.Do(OpReq{
 		Kind: kind,
-		Res:  o.Res(field),
+		Res:  slot.res,
 		Src:  slot.lastWrite,
 		Apply: func() {
 			out = slot.val
@@ -112,7 +113,7 @@ func (o *Object) Has(ctx *Context, field string) bool {
 func (o *Object) slot(field string) *fieldSlot {
 	s, ok := o.fields[field]
 	if !ok {
-		s = &fieldSlot{}
+		s = &fieldSlot{res: fmt.Sprintf("heap:%s:%s%d.%s", o.node.PID, o.class, o.id, field)}
 		o.fields[field] = s
 	}
 	return s

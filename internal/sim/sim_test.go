@@ -419,10 +419,10 @@ func TestEventDispatchCausality(t *testing.T) {
 	var enq, frame trace.OpID
 	for i := range tr.Records {
 		r := &tr.Records[i]
-		if r.Kind == trace.KEventEnq && r.Aux == "tick" {
+		if r.Kind == trace.KEventEnq && tr.Str(r.Aux) == "tick" {
 			enq = r.ID
 		}
-		if r.Kind == trace.KHandlerBegin && r.Aux == "event:tick" {
+		if r.Kind == trace.KHandlerBegin && tr.Str(r.Aux) == "event:tick" {
 			frame = r.Causor
 		}
 	}

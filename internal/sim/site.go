@@ -11,10 +11,31 @@ import (
 // static operation ID the paper gets from bytecode positions. Sites are
 // stable across runs (they are source positions), which is what lets the
 // triggering module aim a fault at a reported operation.
-func callsite() string {
+//
+// Program counters are memoized in the per-cluster cache: each distinct PC is
+// symbolized once per run (the value "" marks simulator/storage frames to
+// skip), so the steady state is one map probe per frame instead of a
+// CallersFrames walk and a Sprintf per traced op.
+func callsite(cache map[uintptr]string) string {
 	var pcs [24]uintptr
 	n := runtime.Callers(3, pcs[:])
-	frames := runtime.CallersFrames(pcs[:n])
+	for _, pc := range pcs[:n] {
+		s, ok := cache[pc]
+		if !ok {
+			s = resolvePC(pc)
+			cache[pc] = s
+		}
+		if s != "" {
+			return s
+		}
+	}
+	return "unknown"
+}
+
+// resolvePC renders the site for one call PC, expanding inlined frames; it
+// returns "" when every frame at the PC belongs to the sim/storage substrate.
+func resolvePC(pc uintptr) string {
+	frames := runtime.CallersFrames([]uintptr{pc})
 	for {
 		fr, more := frames.Next()
 		if fr.File == "" {
@@ -28,7 +49,7 @@ func callsite() string {
 			break
 		}
 	}
-	return "unknown"
+	return ""
 }
 
 // trimPath keeps the last three path segments, enough to be unique and

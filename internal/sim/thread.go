@@ -41,6 +41,9 @@ type ctlFrame struct {
 	label string
 	ctl   []trace.OpID
 	loop  *loopState // non-nil when the scope is a sync-loop body
+	// prevStack is the thread's interned callstack before this scope was
+	// pushed; popping the scope restores it.
+	prevStack trace.StackID
 }
 
 // Thread is one cooperative thread of a simulated process.
@@ -64,6 +67,12 @@ type Thread struct {
 	// dispatcher threads.
 	frame      trace.OpID
 	frameStack []trace.OpID
+
+	// stack is the thread's current interned callstack (thread name plus open
+	// scope labels), maintained incrementally by pushScope/popScopesTo so
+	// emitting a record copies one StackID instead of building a []string.
+	// Stays NoStack when tracing is off.
+	stack trace.StackID
 
 	scopes []ctlFrame
 	// ctlHist accumulates every control taint observed during the current
@@ -99,7 +108,10 @@ func (c *Cluster) spawnThread(n *Node, name string, fn func(*Context), causor tr
 	c.threads = append(c.threads, t)
 	n.threads = append(n.threads, t)
 
-	start := c.tracer.emit(t, trace.Record{
+	if w := c.tracer.trace; w != nil {
+		t.stack = w.PushFrame(trace.NoStack, w.Intern(name))
+	}
+	start := c.tracer.emit(t, opSpec{
 		Kind:   trace.KThreadStart,
 		Aux:    name,
 		Causor: causor,
@@ -138,7 +150,7 @@ func (c *Cluster) spawnThread(n *Node, name string, fn func(*Context), causor tr
 func (t *Thread) finish(c *Cluster, st threadState) {
 	t.state = st
 	if st == tsDone {
-		c.tracer.emit(t, trace.Record{Kind: trace.KThreadExit})
+		c.tracer.emit(t, opSpec{Kind: trace.KThreadExit})
 	}
 	c.yielded <- t
 }
@@ -194,12 +206,22 @@ func (t *Thread) ctlTaints() []trace.OpID {
 	return out
 }
 
-// labels returns the callstack labels of open scopes.
-func (t *Thread) labels() []string {
-	out := make([]string, 0, len(t.scopes)+1)
-	out = append(out, t.name)
-	for i := range t.scopes {
-		out = append(out, t.scopes[i].label)
+// pushScope opens a control-dependence scope and extends the thread's
+// interned callstack with its label.
+func (t *Thread) pushScope(c *Cluster, fr ctlFrame) {
+	fr.prevStack = t.stack
+	if w := c.tracer.trace; w != nil {
+		t.stack = w.PushFrame(t.stack, w.Intern(fr.label))
 	}
-	return out
+	t.scopes = append(t.scopes, fr)
+}
+
+// popScopesTo closes scopes down to depth, restoring the callstack that was
+// current before the lowest popped scope was pushed.
+func (t *Thread) popScopesTo(depth int) {
+	if len(t.scopes) <= depth {
+		return
+	}
+	t.stack = t.scopes[depth].prevStack
+	t.scopes = t.scopes[:depth]
 }

@@ -4,6 +4,22 @@ import (
 	"fcatch/internal/trace"
 )
 
+// opSpec is the pre-interning description of one record: the op layer fills
+// it with plain strings and the tracer interns them into the run's trace,
+// so application code and substrates never touch symbol tables.
+type opSpec struct {
+	Kind   trace.Kind
+	Site   string
+	Res    string
+	Aux    string
+	Target string
+	Src    trace.OpID
+	Causor trace.OpID
+	Flags  uint32
+	Taint  []trace.OpID
+	Ctl    []trace.OpID
+}
+
 // tracer appends records to the run's trace, implementing the paper's
 // selective tracing policy (Section 3.2): happens-before operations, storage
 // operations and synchronization-loop reads are always recorded; plain heap
@@ -12,22 +28,33 @@ import (
 type tracer struct {
 	c     *Cluster
 	trace *trace.Trace
+	// sysPID is the interned "system" PID for scheduler-context records.
+	sysPID trace.Sym
 }
 
 func newTracer(c *Cluster) *tracer {
 	tr := &tracer{c: c}
 	if c.cfg.Tracing != TraceOff {
 		tr.trace = trace.New()
+		tr.sysPID = tr.trace.Intern("system")
 	}
 	return tr
 }
 
-// shouldTrace applies the selectivity policy to one record.
-func (tr *tracer) shouldTrace(t *Thread, r *trace.Record) bool {
+// sym interns s into the run's trace (NoSym when s is empty).
+func (tr *tracer) sym(s string) trace.Sym {
+	if s == "" || tr.trace == nil {
+		return trace.NoSym
+	}
+	return tr.trace.Intern(s)
+}
+
+// shouldTrace applies the selectivity policy to one op kind.
+func (tr *tracer) shouldTrace(t *Thread, k trace.Kind) bool {
 	if tr.trace == nil {
 		return false
 	}
-	switch r.Kind {
+	switch k {
 	case trace.KHeapRead, trace.KHeapWrite:
 		if tr.c.cfg.Tracing == TraceExhaustive {
 			return true
@@ -39,19 +66,33 @@ func (tr *tracer) shouldTrace(t *Thread, r *trace.Record) bool {
 	return true
 }
 
-// emit records an operation performed by thread t. It fills in the ambient
-// fields (timestamp, pid, thread, frame, callstack, handler flag) and
-// returns the new op's ID — or trace.NoOp when the record is not traced.
-func (tr *tracer) emit(t *Thread, r trace.Record) trace.OpID {
-	if !tr.shouldTrace(t, &r) {
+// emit records an operation performed by thread t. It interns the op's
+// strings, fills in the ambient fields (timestamp, pid, thread, frame, the
+// thread's incrementally-maintained callstack, handler flag) and returns the
+// new op's ID — or trace.NoOp when the record is not traced.
+func (tr *tracer) emit(t *Thread, op opSpec) trace.OpID {
+	if !tr.shouldTrace(t, op.Kind) {
 		return trace.NoOp
 	}
-	r.TS = tr.c.clock
-	r.Machine = t.node.Machine
-	r.PID = t.node.PID
-	r.Thread = t.id
-	r.Frame = t.frame
-	r.Stack = t.labels()
+	w := tr.trace
+	r := trace.Record{
+		TS:      tr.c.clock,
+		Machine: t.node.machineSym,
+		PID:     t.node.pidSym,
+		Thread:  t.id,
+		Frame:   t.frame,
+		Kind:    op.Kind,
+		Site:    w.Intern(op.Site),
+		Stack:   t.stack,
+		Res:     w.Intern(op.Res),
+		Src:     op.Src,
+		Aux:     w.Intern(op.Aux),
+		Target:  w.Intern(op.Target),
+		Flags:   op.Flags,
+		Causor:  op.Causor,
+		Taint:   op.Taint,
+		Ctl:     op.Ctl,
+	}
 	if t.handlerCtx {
 		r.Flags |= trace.FlagHandlerCtx
 	}
@@ -59,22 +100,32 @@ func (tr *tracer) emit(t *Thread, r trace.Record) trace.OpID {
 		r.Ctl = t.ctlTaints()
 	}
 	tr.c.clock += tr.c.cfg.TraceTickCost
-	id := tr.trace.Append(r)
-	if r.Kind == trace.KThreadStart {
-		tr.trace.AddPID(r.PID)
+	id := w.Append(r)
+	if op.Kind == trace.KThreadStart {
+		w.AddPID(t.node.PID)
 	}
 	return id
 }
 
 // emitSystem records scheduler-context bookkeeping (crash/restart marks).
-func (tr *tracer) emitSystem(r trace.Record) trace.OpID {
+func (tr *tracer) emitSystem(op opSpec) trace.OpID {
 	if tr.trace == nil {
 		return trace.NoOp
 	}
-	r.TS = tr.c.clock
-	r.PID = "system"
-	r.Frame = trace.NoOp
-	return tr.trace.Append(r)
+	w := tr.trace
+	return w.Append(trace.Record{
+		TS:     tr.c.clock,
+		PID:    tr.sysPID,
+		Kind:   op.Kind,
+		Site:   w.Intern(op.Site),
+		Res:    w.Intern(op.Res),
+		Aux:    w.Intern(op.Aux),
+		Target: w.Intern(op.Target),
+		Flags:  op.Flags,
+		Causor: op.Causor,
+		Taint:  op.Taint,
+		Ctl:    op.Ctl,
+	})
 }
 
 // needSites reports whether op sites must be computed this run (they are

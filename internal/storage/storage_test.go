@@ -120,7 +120,7 @@ func TestGlobalFSListAndDeleteTree(t *testing.T) {
 	perChild := 0
 	for i := range c.Trace().Records {
 		r := &c.Trace().Records[i]
-		if r.Kind == trace.KStDelete && (r.Res == "gfs:/dir/a" || r.Res == "gfs:/dir/b") {
+		if res := c.Trace().Str(r.Res); r.Kind == trace.KStDelete && (res == "gfs:/dir/a" || res == "gfs:/dir/b") {
 			perChild++
 		}
 	}
@@ -200,10 +200,10 @@ func TestReadCarriesDefineUseLink(t *testing.T) {
 	var writeID trace.OpID
 	for i := range c.Trace().Records {
 		r := &c.Trace().Records[i]
-		if r.Kind == trace.KStWrite && r.Res == "gfs:/d" {
+		if r.Kind == trace.KStWrite && c.Trace().Str(r.Res) == "gfs:/d" {
 			writeID = r.ID
 		}
-		if r.Kind == trace.KStRead && r.Res == "gfs:/d" {
+		if r.Kind == trace.KStRead && c.Trace().Str(r.Res) == "gfs:/d" {
 			if r.Src != writeID {
 				t.Fatalf("read Src = %d, want the write %d", r.Src, writeID)
 			}

@@ -3,6 +3,7 @@ package trace
 import (
 	"bufio"
 	"compress/gzip"
+	"encoding/binary"
 	"encoding/gob"
 	"encoding/json"
 	"fmt"
@@ -10,68 +11,510 @@ import (
 	"os"
 )
 
-// Save writes the trace to path as gzipped gob, the compact on-disk format
-// used by the CLI between the tracing and analysis phases.
+// FormatMagic is the 4-byte tag leading every trace in the versioned binary
+// format. It sits outside the gzip layer so Decode can sniff it: files that
+// start with a gzip header instead are legacy gob traces and still load.
+const FormatMagic = "FCT1"
+
+// FormatVersion is the trace-format generation the magic encodes.
+const FormatVersion = 1
+
+// The FCT1 layout, after the magic, is one gzip stream of:
+//
+//	symbol table   uvarint count, then per symbol (Sym 1..n): uvarint len + bytes
+//	stack table    uvarint count, then per node (StackID 1..n): uvarint parent + uvarint frame
+//	PIDs           uvarint count, then per PID: uvarint len + bytes
+//	metadata       varint CrashStep, string CrashedPID, varint BaselineNanos
+//	records        uvarint count, then column by column (all records' TS, then
+//	               all Machines, ...): TS delta-encoded varints; Sym/StackID/
+//	               OpID/flag columns as uvarints; Taint and Ctl as uvarint
+//	               count + delta-encoded varint IDs per record
+//
+// Record IDs are implicit (row i is OpID i+1). Column order matches Record
+// field order. Strings are stored once in the symbol table; the column data
+// is small integers, which is where the size win over gob comes from.
+
+// Save writes the trace to path in the FCT1 format.
 func (t *Trace) Save(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("trace: save: %w", err)
 	}
 	defer f.Close()
-	zw := gzip.NewWriter(f)
-	if err := gob.NewEncoder(zw).Encode(t); err != nil {
+	if err := t.Encode(f); err != nil {
 		return fmt.Errorf("trace: encode %s: %w", path, err)
-	}
-	if err := zw.Close(); err != nil {
-		return fmt.Errorf("trace: flush %s: %w", path, err)
 	}
 	return nil
 }
 
-// Load reads a trace written by Save.
+// Load reads a trace written by Save — either format generation.
 func Load(path string) (*Trace, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("trace: load: %w", err)
 	}
 	defer f.Close()
-	zr, err := gzip.NewReader(f)
+	t, err := Decode(f)
 	if err != nil {
-		return nil, fmt.Errorf("trace: gunzip %s: %w", path, err)
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
 	}
-	defer zr.Close()
-	var t Trace
-	if err := gob.NewDecoder(zr).Decode(&t); err != nil {
-		return nil, fmt.Errorf("trace: decode %s: %w", path, err)
-	}
-	return &t, nil
+	return t, nil
 }
 
-// WriteJSON streams the trace as line-delimited JSON records, the
-// human-inspectable dump format (`fcatch trace -dump`).
+// Encode writes the trace to w in the FCT1 binary format.
+func (t *Trace) Encode(w io.Writer) error {
+	if _, err := io.WriteString(w, FormatMagic); err != nil {
+		return err
+	}
+	zw := gzip.NewWriter(w)
+	bw := bufio.NewWriter(zw)
+	e := colEncoder{w: bw}
+
+	// Symbol table (Sym 0 is implicit).
+	e.uvarint(uint64(t.NumSyms() - 1))
+	for y := 1; y < t.NumSyms(); y++ {
+		e.str(t.syms.Str(Sym(y)))
+	}
+	// Stack table (StackID 0 is implicit).
+	e.uvarint(uint64(t.NumStacks() - 1))
+	for id := 1; id < t.NumStacks(); id++ {
+		n := t.stacks.nodes[id]
+		e.uvarint(uint64(n.parent))
+		e.uvarint(uint64(n.frame))
+	}
+	// Run metadata.
+	e.uvarint(uint64(len(t.PIDs)))
+	for _, pid := range t.PIDs {
+		e.str(pid)
+	}
+	e.varint(t.CrashStep)
+	e.str(t.CrashedPID)
+	e.varint(t.BaselineNanos)
+
+	// Record columns.
+	rs := t.Records
+	e.uvarint(uint64(len(rs)))
+	prevTS := int64(0)
+	for i := range rs {
+		e.varint(rs[i].TS - prevTS)
+		prevTS = rs[i].TS
+	}
+	for i := range rs {
+		e.uvarint(uint64(rs[i].Machine))
+	}
+	for i := range rs {
+		e.uvarint(uint64(rs[i].PID))
+	}
+	for i := range rs {
+		e.uvarint(uint64(rs[i].Thread))
+	}
+	for i := range rs {
+		e.uvarint(uint64(rs[i].Frame))
+	}
+	for i := range rs {
+		e.uvarint(uint64(rs[i].Kind))
+	}
+	for i := range rs {
+		e.uvarint(uint64(rs[i].Site))
+	}
+	for i := range rs {
+		e.uvarint(uint64(rs[i].Stack))
+	}
+	for i := range rs {
+		e.uvarint(uint64(rs[i].Res))
+	}
+	for i := range rs {
+		e.uvarint(uint64(rs[i].Src))
+	}
+	for i := range rs {
+		e.uvarint(uint64(rs[i].Aux))
+	}
+	for i := range rs {
+		e.uvarint(uint64(rs[i].Target))
+	}
+	for i := range rs {
+		e.uvarint(uint64(rs[i].Flags))
+	}
+	for i := range rs {
+		e.uvarint(uint64(rs[i].Causor))
+	}
+	for i := range rs {
+		e.ops(rs[i].Taint)
+	}
+	for i := range rs {
+		e.ops(rs[i].Ctl)
+	}
+
+	if e.err != nil {
+		return e.err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return zw.Close()
+}
+
+// Decode reads a trace from r, sniffing the format: FCT1 binary, or the
+// legacy gzipped-gob layout written before the format was versioned.
+func Decode(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(4)
+	if err != nil {
+		return nil, fmt.Errorf("decode: %w", err)
+	}
+	if string(head) == FormatMagic {
+		if _, err := br.Discard(4); err != nil {
+			return nil, err
+		}
+		return decodeFCT1(br)
+	}
+	if head[0] == 0x1f && head[1] == 0x8b {
+		return decodeLegacyGob(br)
+	}
+	return nil, fmt.Errorf("decode: unrecognized trace format (magic %q)", head)
+}
+
+func decodeFCT1(r io.Reader) (*Trace, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("decode: gunzip: %w", err)
+	}
+	defer zr.Close()
+	d := colDecoder{r: bufio.NewReader(zr)}
+	t := New()
+
+	nSyms := d.uvarint()
+	for i := uint64(0); i < nSyms && d.err == nil; i++ {
+		t.Intern(d.str())
+	}
+	nStacks := d.uvarint()
+	for i := uint64(0); i < nStacks && d.err == nil; i++ {
+		parent := StackID(d.uvarint())
+		frame := Sym(d.uvarint())
+		t.stacks.Push(parent, frame)
+	}
+	nPIDs := d.uvarint()
+	for i := uint64(0); i < nPIDs && d.err == nil; i++ {
+		t.PIDs = append(t.PIDs, d.str())
+	}
+	t.CrashStep = d.varint()
+	t.CrashedPID = d.str()
+	t.BaselineNanos = d.varint()
+
+	n := int(d.uvarint())
+	if d.err != nil {
+		return nil, fmt.Errorf("decode: header: %w", d.err)
+	}
+	rs := make([]Record, n)
+	prevTS := int64(0)
+	for i := range rs {
+		rs[i].ID = OpID(i + 1)
+		prevTS += d.varint()
+		rs[i].TS = prevTS
+	}
+	for i := range rs {
+		rs[i].Machine = Sym(d.uvarint())
+	}
+	for i := range rs {
+		rs[i].PID = Sym(d.uvarint())
+	}
+	for i := range rs {
+		rs[i].Thread = int(d.uvarint())
+	}
+	for i := range rs {
+		rs[i].Frame = OpID(d.uvarint())
+	}
+	for i := range rs {
+		rs[i].Kind = Kind(d.uvarint())
+	}
+	for i := range rs {
+		rs[i].Site = Sym(d.uvarint())
+	}
+	for i := range rs {
+		rs[i].Stack = StackID(d.uvarint())
+	}
+	for i := range rs {
+		rs[i].Res = Sym(d.uvarint())
+	}
+	for i := range rs {
+		rs[i].Src = OpID(d.uvarint())
+	}
+	for i := range rs {
+		rs[i].Aux = Sym(d.uvarint())
+	}
+	for i := range rs {
+		rs[i].Target = Sym(d.uvarint())
+	}
+	for i := range rs {
+		rs[i].Flags = uint32(d.uvarint())
+	}
+	for i := range rs {
+		rs[i].Causor = OpID(d.uvarint())
+	}
+	for i := range rs {
+		rs[i].Taint = d.ops()
+	}
+	for i := range rs {
+		rs[i].Ctl = d.ops()
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("decode: records: %w", d.err)
+	}
+	t.Records = rs
+	return t, nil
+}
+
+// colEncoder writes varint columns, capturing the first error.
+type colEncoder struct {
+	w   *bufio.Writer
+	buf [binary.MaxVarintLen64]byte
+	err error
+}
+
+func (e *colEncoder) uvarint(u uint64) {
+	if e.err != nil {
+		return
+	}
+	n := binary.PutUvarint(e.buf[:], u)
+	_, e.err = e.w.Write(e.buf[:n])
+}
+
+func (e *colEncoder) varint(v int64) {
+	if e.err != nil {
+		return
+	}
+	n := binary.PutVarint(e.buf[:], v)
+	_, e.err = e.w.Write(e.buf[:n])
+}
+
+func (e *colEncoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	if e.err == nil {
+		_, e.err = e.w.WriteString(s)
+	}
+}
+
+// ops writes an OpID list as a count plus delta-encoded IDs (taint lists are
+// near-sorted small ranges, so deltas stay in one or two bytes).
+func (e *colEncoder) ops(ids []OpID) {
+	e.uvarint(uint64(len(ids)))
+	prev := int64(0)
+	for _, id := range ids {
+		e.varint(int64(id) - prev)
+		prev = int64(id)
+	}
+}
+
+// colDecoder mirrors colEncoder, capturing the first error.
+type colDecoder struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (d *colDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	u, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		d.err = err
+	}
+	return u
+}
+
+func (d *colDecoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(d.r)
+	if err != nil {
+		d.err = err
+	}
+	return v
+}
+
+func (d *colDecoder) str() string {
+	n := d.uvarint()
+	if d.err != nil || n == 0 {
+		return ""
+	}
+	if n > 1<<24 {
+		d.err = fmt.Errorf("string length %d too large", n)
+		return ""
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		d.err = err
+		return ""
+	}
+	return string(buf)
+}
+
+func (d *colDecoder) ops() []OpID {
+	n := d.uvarint()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if n > 1<<24 {
+		d.err = fmt.Errorf("op list length %d too large", n)
+		return nil
+	}
+	out := make([]OpID, n)
+	prev := int64(0)
+	for i := range out {
+		prev += d.varint()
+		out[i] = OpID(prev)
+	}
+	return out
+}
+
+// legacyRecord mirrors the pre-interning Record layout (string fields,
+// []string stack). Gob matches struct fields by name, so streams written by
+// the old encoder decode into it directly.
+type legacyRecord struct {
+	ID      OpID
+	TS      int64
+	Machine string
+	PID     string
+	Thread  int
+	Frame   OpID
+	Kind    Kind
+	Site    string
+	Stack   []string
+	Res     string
+	Src     OpID
+	Aux     string
+	Target  string
+	Flags   uint32
+	Causor  OpID
+	Taint   []OpID
+	Ctl     []OpID
+}
+
+// legacyTrace mirrors the pre-interning Trace layout.
+type legacyTrace struct {
+	Records       []legacyRecord
+	PIDs          []string
+	CrashStep     int64
+	CrashedPID    string
+	BaselineNanos int64
+}
+
+// decodeLegacyGob loads a gob-era trace and interns it into the current
+// model. Metadata is taken from the stored header; record IDs are re-derived
+// from position (they were dense in the old format too).
+func decodeLegacyGob(r io.Reader) (*Trace, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("decode: gunzip: %w", err)
+	}
+	defer zr.Close()
+	var lt legacyTrace
+	if err := gob.NewDecoder(zr).Decode(&lt); err != nil {
+		return nil, fmt.Errorf("decode: legacy gob: %w", err)
+	}
+	t := New()
+	for i := range lt.Records {
+		lr := &lt.Records[i]
+		var stack StackID
+		for _, label := range lr.Stack {
+			stack = t.PushFrame(stack, t.Intern(label))
+		}
+		t.Append(Record{
+			TS:      lr.TS,
+			Machine: t.Intern(lr.Machine),
+			PID:     t.Intern(lr.PID),
+			Thread:  lr.Thread,
+			Frame:   lr.Frame,
+			Kind:    lr.Kind,
+			Site:    t.Intern(lr.Site),
+			Stack:   stack,
+			Res:     t.Intern(lr.Res),
+			Src:     lr.Src,
+			Aux:     t.Intern(lr.Aux),
+			Target:  t.Intern(lr.Target),
+			Flags:   lr.Flags,
+			Causor:  lr.Causor,
+			Taint:   lr.Taint,
+			Ctl:     lr.Ctl,
+		})
+	}
+	t.PIDs = lt.PIDs
+	t.CrashStep = lt.CrashStep
+	t.CrashedPID = lt.CrashedPID
+	t.BaselineNanos = lt.BaselineNanos
+	return t, nil
+}
+
+// EncodeLegacyGob writes the trace in the pre-FCT1 gzipped-gob layout — kept
+// for the format benchmarks and the round-trip compatibility tests; new
+// traces should use Encode.
+func (t *Trace) EncodeLegacyGob(w io.Writer) error {
+	lt := legacyTrace{
+		PIDs:          t.PIDs,
+		CrashStep:     t.CrashStep,
+		CrashedPID:    t.CrashedPID,
+		BaselineNanos: t.BaselineNanos,
+	}
+	lt.Records = make([]legacyRecord, len(t.Records))
+	for i := range t.Records {
+		r := &t.Records[i]
+		lt.Records[i] = legacyRecord{
+			ID:      r.ID,
+			TS:      r.TS,
+			Machine: t.Str(r.Machine),
+			PID:     t.Str(r.PID),
+			Thread:  r.Thread,
+			Frame:   r.Frame,
+			Kind:    r.Kind,
+			Site:    t.Str(r.Site),
+			Stack:   t.StackLabels(r.Stack),
+			Res:     t.Str(r.Res),
+			Src:     r.Src,
+			Aux:     t.Str(r.Aux),
+			Target:  t.Str(r.Target),
+			Flags:   r.Flags,
+			Causor:  r.Causor,
+			Taint:   r.Taint,
+			Ctl:     r.Ctl,
+		}
+	}
+	zw := gzip.NewWriter(w)
+	if err := gob.NewEncoder(zw).Encode(&lt); err != nil {
+		return err
+	}
+	return zw.Close()
+}
+
+// WriteJSON streams the trace as line-delimited JSON records in their
+// resolved (string-valued) RecordData form — the human-inspectable dump
+// format, unchanged from the pre-interning encoder.
 func (t *Trace) WriteJSON(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for i := range t.Records {
-		if err := enc.Encode(&t.Records[i]); err != nil {
+		d := t.Data(&t.Records[i])
+		if err := enc.Encode(&d); err != nil {
 			return fmt.Errorf("trace: json record %d: %w", i, err)
 		}
 	}
 	return bw.Flush()
 }
 
-// ReadJSON parses a stream produced by WriteJSON.
+// ReadJSON parses a stream produced by WriteJSON. Records are re-appended
+// through AppendData, so IDs, the PID list, and crash metadata are re-derived
+// consistently instead of trusting the raw decoded values.
 func ReadJSON(r io.Reader) (*Trace, error) {
 	t := New()
 	dec := json.NewDecoder(r)
 	for {
-		var rec Record
-		if err := dec.Decode(&rec); err == io.EOF {
+		var d RecordData
+		if err := dec.Decode(&d); err == io.EOF {
 			break
 		} else if err != nil {
 			return nil, fmt.Errorf("trace: json decode: %w", err)
 		}
-		t.Records = append(t.Records, rec)
+		t.AppendData(d)
 	}
 	return t, nil
 }

@@ -18,8 +18,9 @@ type Query struct {
 	After, Before int64
 }
 
-// Match reports whether the record satisfies the query.
-func (q Query) Match(r *Record) bool {
+// Match reports whether the record satisfies the query; t is the trace that
+// owns r's symbols.
+func (q Query) Match(t *Trace, r *Record) bool {
 	if len(q.Kinds) > 0 {
 		ok := false
 		for _, k := range q.Kinds {
@@ -34,20 +35,20 @@ func (q Query) Match(r *Record) bool {
 	}
 	if q.PID != "" {
 		if strings.HasSuffix(q.PID, "*") {
-			if !strings.HasPrefix(r.PID, strings.TrimSuffix(q.PID, "*")) {
+			if !strings.HasPrefix(t.Str(r.PID), strings.TrimSuffix(q.PID, "*")) {
 				return false
 			}
-		} else if r.PID != q.PID {
+		} else if t.Str(r.PID) != q.PID {
 			return false
 		}
 	}
-	if q.ResContains != "" && !strings.Contains(r.Res, q.ResContains) {
+	if q.ResContains != "" && !strings.Contains(t.Str(r.Res), q.ResContains) {
 		return false
 	}
-	if q.SiteContains != "" && !strings.Contains(r.Site, q.SiteContains) {
+	if q.SiteContains != "" && !strings.Contains(t.Str(r.Site), q.SiteContains) {
 		return false
 	}
-	if q.AuxContains != "" && !strings.Contains(r.Aux, q.AuxContains) {
+	if q.AuxContains != "" && !strings.Contains(t.Str(r.Aux), q.AuxContains) {
 		return false
 	}
 	if q.After > 0 && r.TS < q.After {
@@ -63,7 +64,7 @@ func (q Query) Match(r *Record) bool {
 func (t *Trace) Filter(q Query) []*Record {
 	var out []*Record
 	for i := range t.Records {
-		if q.Match(&t.Records[i]) {
+		if q.Match(t, &t.Records[i]) {
 			out = append(out, &t.Records[i])
 		}
 	}

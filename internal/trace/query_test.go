@@ -8,10 +8,16 @@ import (
 
 func queryFixture() *trace.Trace {
 	tr := trace.New()
-	tr.Append(trace.Record{Kind: trace.KMsgSend, PID: "a#1", Aux: "ping", TS: 5, Site: "a.go:1"})
-	tr.Append(trace.Record{Kind: trace.KMsgSend, PID: "a#2", Aux: "pong", TS: 9, Site: "a.go:2"})
-	tr.Append(trace.Record{Kind: trace.KKVUpdate, PID: "b#1", Res: "zk:/locks/x", Aux: "create", TS: 12})
-	tr.Append(trace.Record{Kind: trace.KStRead, PID: "b#1", Res: "gfs:/data/y", TS: 20, Site: "b.go:9"})
+	app := func(kind trace.Kind, pid, res, aux, site string, ts int64) {
+		tr.Append(trace.Record{
+			Kind: kind, PID: tr.Intern(pid), Res: tr.Intern(res),
+			Aux: tr.Intern(aux), Site: tr.Intern(site), TS: ts,
+		})
+	}
+	app(trace.KMsgSend, "a#1", "", "ping", "a.go:1", 5)
+	app(trace.KMsgSend, "a#2", "", "pong", "a.go:2", 9)
+	app(trace.KKVUpdate, "b#1", "zk:/locks/x", "create", "", 12)
+	app(trace.KStRead, "b#1", "gfs:/data/y", "", "b.go:9", 20)
 	return tr
 }
 
@@ -42,7 +48,7 @@ func TestFilterByPID(t *testing.T) {
 
 func TestFilterBySubstrings(t *testing.T) {
 	tr := queryFixture()
-	if got := tr.Filter(trace.Query{ResContains: "locks"}); len(got) != 1 || got[0].Aux != "create" {
+	if got := tr.Filter(trace.Query{ResContains: "locks"}); len(got) != 1 || tr.Str(got[0].Aux) != "create" {
 		t.Fatalf("res filter = %v", got)
 	}
 	if got := tr.Filter(trace.Query{SiteContains: "a.go"}); len(got) != 2 {

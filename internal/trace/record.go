@@ -153,49 +153,54 @@ const (
 	FlagFailed                   // the operation errored (e.g. create of an existing file); it did not define content
 )
 
-// Record is one traced operation.
+// Record is one traced operation. All string-valued attributes are interned
+// in the owning Trace's symbol table (Sym fields) and the callstack is an
+// interned prefix-tree node (StackID), so a record is a fixed-size struct of
+// integers plus the two taint slices; resolve with Trace.Str / Trace.Data /
+// Trace.Format.
 type Record struct {
-	ID      OpID
-	TS      int64  // logical timestamp (scheduler step)
-	Machine string // physical machine the op executed on
-	PID     string // process the op physically executed in
-	Thread  int    // global thread id
-	Frame   OpID   // activation record (KThreadStart/KHandlerBegin) this op ran under
-
-	Kind  Kind
-	Site  string   // static id of the operation: file:line of the call site
-	Stack []string // callstack labels at emission
-
-	Res    string // resource ID ("heap:pid:obj.field", "gfs:/path", "zk:/path", "lfs:machine:/path", "cv:...")
-	Src    OpID   // for read-like ops: the write op that defined the value consumed
-	Aux    string // CV id / RPC method / message verb / event type / loop id / exception kind
-	Target string // for sends and calls: destination PID
-	Flags  uint32
-
-	Causor OpID // for activations and KKVNotify: the op this one causally depends on
+	ID     OpID
+	TS     int64 // logical timestamp (scheduler step)
+	Frame  OpID  // activation record (KThreadStart/KHandlerBegin) this op ran under
+	Src    OpID  // for read-like ops: the write op that defined the value consumed
+	Causor OpID  // for activations and KKVNotify: the op this one causally depends on
 
 	Taint []OpID // data-dependence taints of the value involved
 	Ctl   []OpID // control-dependence taints active at emission
+
+	Thread int // global thread id
+	Kind   Kind
+
+	Machine Sym     // physical machine the op executed on
+	PID     Sym     // process the op physically executed in
+	Site    Sym     // static id of the operation: file:line of the call site
+	Res     Sym     // resource ID ("heap:pid:obj.field", "gfs:/path", "zk:/path", "lfs:machine:/path", "cv:...")
+	Aux     Sym     // CV id / RPC method / message verb / event type / loop id / exception kind
+	Target  Sym     // for sends and calls: destination PID
+	Stack   StackID // interned callstack at emission
+	Flags   uint32
 }
 
 // HasFlag reports whether flag f is set.
 func (r *Record) HasFlag(f uint32) bool { return r.Flags&f != 0 }
 
-// String renders a compact single-line form, useful in tests and dumps.
-func (r *Record) String() string {
+// Format renders a record's compact single-line form, resolving its symbols
+// through this trace's table — the human-readable face of the interned model,
+// used by tests and `fcatch grep`.
+func (t *Trace) Format(r *Record) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "#%d t=%d %s/%d %s", r.ID, r.TS, r.PID, r.Thread, r.Kind)
-	if r.Res != "" {
-		fmt.Fprintf(&b, " res=%s", r.Res)
+	fmt.Fprintf(&b, "#%d t=%d %s/%d %s", r.ID, r.TS, t.Str(r.PID), r.Thread, r.Kind)
+	if r.Res != NoSym {
+		fmt.Fprintf(&b, " res=%s", t.Str(r.Res))
 	}
-	if r.Aux != "" {
-		fmt.Fprintf(&b, " aux=%s", r.Aux)
+	if r.Aux != NoSym {
+		fmt.Fprintf(&b, " aux=%s", t.Str(r.Aux))
 	}
-	if r.Target != "" {
-		fmt.Fprintf(&b, " ->%s", r.Target)
+	if r.Target != NoSym {
+		fmt.Fprintf(&b, " ->%s", t.Str(r.Target))
 	}
-	if r.Site != "" {
-		fmt.Fprintf(&b, " @%s", r.Site)
+	if r.Site != NoSym {
+		fmt.Fprintf(&b, " @%s", t.Str(r.Site))
 	}
 	return b.String()
 }

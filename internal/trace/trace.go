@@ -6,7 +6,15 @@ import (
 
 // Trace is the full record stream of one observed run, plus run-level
 // metadata the detectors need (which processes existed, where the injected
-// crash landed, which writes last defined each resource, ...).
+// crash landed, which writes last defined each resource, ...). The trace owns
+// the symbol table its records' Sym fields index and the prefix tree their
+// StackIDs index; Syms from one trace are meaningless in another (translate
+// with SymMapTo or resolve through Str).
+//
+// Interning (Intern, PushFrame, Append) is single-writer: the tracer runs
+// under the scheduler baton. After a run the trace is read-only and every
+// resolving accessor (Str, Lookup, StackSyms, ...) is safe for concurrent use
+// — the two detectors read one trace from parallel workers.
 type Trace struct {
 	// Records in emission order; Records[i].ID == OpID(i+1).
 	Records []Record
@@ -23,10 +31,12 @@ type Trace struct {
 	// Wall-clock durations, filled by the observer (Table 4).
 	BaselineNanos int64 // run duration with this trace's tracing mode
 
+	syms   SymTab
+	stacks StackTab
+
 	// pidSet is the membership index behind HasPID/AddPID, built lazily (a
 	// loaded trace has PIDs but no set) and kept in sync by AddPID. Guarded
 	// by a mutex because the two detectors may query one trace concurrently.
-	// (Unexported, so gob/json round trips ignore it and rebuild on demand.)
 	pidMu  sync.Mutex
 	pidSet map[string]bool
 }
@@ -36,7 +46,63 @@ func New() *Trace {
 	return &Trace{CrashStep: -1}
 }
 
-// Append adds a record, assigning its ID, and returns the ID.
+// Intern returns the trace-local Sym for s, adding it to the symbol table if
+// new. Writer-side only (the tracer under the scheduler baton).
+func (t *Trace) Intern(s string) Sym { return t.syms.Intern(s) }
+
+// Str resolves a Sym to its string. Safe for concurrent readers.
+func (t *Trace) Str(y Sym) string { return t.syms.Str(y) }
+
+// Lookup resolves a string to its Sym without interning; ok is false when the
+// string never appeared in this trace. Safe for concurrent readers.
+func (t *Trace) Lookup(s string) (Sym, bool) { return t.syms.Lookup(s) }
+
+// NumSyms is the symbol-table size (including the reserved empty slot) —
+// the bound for dense per-Sym side tables.
+func (t *Trace) NumSyms() int { return t.syms.Len() }
+
+// PushFrame returns the interned stack formed by pushing frame onto parent.
+// Writer-side only.
+func (t *Trace) PushFrame(parent StackID, frame Sym) StackID {
+	return t.stacks.Push(parent, frame)
+}
+
+// StackSyms returns a stack's frame Syms, outermost first.
+func (t *Trace) StackSyms(id StackID) []Sym { return t.stacks.Frames(id) }
+
+// StackLabels resolves a stack to its frame labels, outermost first.
+func (t *Trace) StackLabels(id StackID) []string {
+	syms := t.stacks.Frames(id)
+	if syms == nil {
+		return nil
+	}
+	out := make([]string, len(syms))
+	for i, y := range syms {
+		out[i] = t.syms.Str(y)
+	}
+	return out
+}
+
+// NumStacks is the stack-table size (including the reserved empty slot).
+func (t *Trace) NumStacks() int { return t.stacks.Len() }
+
+// SymMapTo returns a dense translation table from this trace's Syms to
+// other's: m[y] is the Sym in other whose string equals t.Str(y), or NoSym if
+// other never interned that string. The crash-recovery detector builds one to
+// compare resources and sites across the fault-free/faulty trace pair without
+// touching strings in its pair loops.
+func (t *Trace) SymMapTo(other *Trace) []Sym {
+	m := make([]Sym, t.NumSyms())
+	for y := 1; y < len(t.syms.strs); y++ {
+		if o, ok := other.Lookup(t.syms.strs[y]); ok {
+			m[y] = o
+		}
+	}
+	return m
+}
+
+// Append adds a record, assigning its ID, and returns the ID. The record's
+// Sym/StackID fields must already be relative to this trace.
 func (t *Trace) Append(r Record) OpID {
 	r.ID = OpID(len(t.Records) + 1)
 	t.Records = append(t.Records, r)
@@ -114,21 +180,29 @@ func (t *Trace) AddPID(pid string) {
 	t.PIDs = append(t.PIDs, pid)
 }
 
+// numKinds bounds the Kind enum for dense per-kind tables.
+const numKinds = int(KRestart) + 1
+
 // Index holds the derived lookups shared by the happens-before analysis and
-// both detectors. Build it once per trace.
+// both detectors. Build it once per trace, after the run: the per-Sym tables
+// are sized to the symbol table at build time, so interning after BuildIndex
+// invalidates the index.
 type Index struct {
 	T *Trace
 
-	// ByKind groups record IDs by kind, in trace order.
-	ByKind map[Kind][]OpID
+	// ByKind groups record IDs by kind, in trace order (dense, indexed by
+	// Kind).
+	ByKind [][]OpID
 
-	// ByRes groups record IDs by resource ID, in trace order.
-	ByRes map[string][]OpID
+	// ByRes groups record IDs by resource, in trace order (dense, indexed by
+	// the resource's Sym).
+	ByRes [][]OpID
 
 	// BySite groups injector-countable record IDs by static site, in trace
-	// order — the occurrence numbering the fault injector uses at run time.
-	// Crash/restart bookkeeping records are excluded.
-	BySite map[string][]OpID
+	// order (dense, indexed by the site's Sym) — the occurrence numbering the
+	// fault injector uses at run time. Crash/restart bookkeeping records are
+	// excluded.
+	BySite [][]OpID
 
 	// Causees maps a causal op to the activation records it spawned
 	// (thread starts, handler begins, KV notifies).
@@ -146,9 +220,9 @@ type Index struct {
 func BuildIndex(t *Trace) *Index {
 	ix := &Index{
 		T:           t,
-		ByKind:      make(map[Kind][]OpID),
-		ByRes:       make(map[string][]OpID),
-		BySite:      make(map[string][]OpID),
+		ByKind:      make([][]OpID, numKinds),
+		ByRes:       make([][]OpID, t.NumSyms()),
+		BySite:      make([][]OpID, t.NumSyms()),
 		Causees:     make(map[OpID][]OpID),
 		FrameOps:    make(map[OpID][]OpID),
 		ThreadStart: make(map[int]OpID),
@@ -156,12 +230,12 @@ func BuildIndex(t *Trace) *Index {
 	for i := range t.Records {
 		r := &t.Records[i]
 		ix.ByKind[r.Kind] = append(ix.ByKind[r.Kind], r.ID)
-		if r.Res != "" {
+		if r.Res != NoSym {
 			ix.ByRes[r.Res] = append(ix.ByRes[r.Res], r.ID)
 		}
 		// Fault bookkeeping records reuse the trigger's site; they are not
 		// operations the injector counts, so they stay out of BySite.
-		if r.Site != "" && r.Kind != KCrash && r.Kind != KRestart {
+		if r.Site != NoSym && r.Kind != KCrash && r.Kind != KRestart {
 			ix.BySite[r.Site] = append(ix.BySite[r.Site], r.ID)
 		}
 		if r.Kind.IsActivation() || r.Kind == KKVNotify {
@@ -177,6 +251,23 @@ func BuildIndex(t *Trace) *Index {
 		}
 	}
 	return ix
+}
+
+// ResIDs returns the ops on the resource with Sym y (nil for NoSym or
+// out-of-range Syms).
+func (ix *Index) ResIDs(y Sym) []OpID {
+	if int(y) >= len(ix.ByRes) {
+		return nil
+	}
+	return ix.ByRes[y]
+}
+
+// SiteIDs returns the injector-countable ops at the site with Sym y.
+func (ix *Index) SiteIDs(y Sym) []OpID {
+	if int(y) >= len(ix.BySite) {
+		return nil
+	}
+	return ix.BySite[y]
 }
 
 // Activation returns the activation record op executed under, or nil.
@@ -234,10 +325,11 @@ func (ix *Index) OpsOfKinds(kinds ...Kind) []OpID {
 	return out
 }
 
-// WritesTo returns all write-like ops on resource res, in trace order.
-func (ix *Index) WritesTo(res string) []OpID {
+// WritesTo returns all write-like ops on the resource with Sym y, in trace
+// order.
+func (ix *Index) WritesTo(y Sym) []OpID {
 	var out []OpID
-	for _, id := range ix.ByRes[res] {
+	for _, id := range ix.ResIDs(y) {
 		if ix.T.At(id).Kind.IsWriteLike() {
 			out = append(out, id)
 		}
@@ -245,10 +337,11 @@ func (ix *Index) WritesTo(res string) []OpID {
 	return out
 }
 
-// ReadsOf returns all read-like ops on resource res, in trace order.
-func (ix *Index) ReadsOf(res string) []OpID {
+// ReadsOf returns all read-like ops on the resource with Sym y, in trace
+// order.
+func (ix *Index) ReadsOf(y Sym) []OpID {
 	var out []OpID
-	for _, id := range ix.ByRes[res] {
+	for _, id := range ix.ResIDs(y) {
 		if ix.T.At(id).Kind.IsReadLike() {
 			out = append(out, id)
 		}

@@ -9,14 +9,14 @@ import (
 	"fcatch/internal/trace"
 )
 
-func mk(kind trace.Kind, pid string, thread int, res string) trace.Record {
-	return trace.Record{Kind: kind, PID: pid, Thread: thread, Res: res}
+func mk(tr *trace.Trace, kind trace.Kind, pid string, thread int, res string) trace.Record {
+	return trace.Record{Kind: kind, PID: tr.Intern(pid), Thread: thread, Res: tr.Intern(res)}
 }
 
 func TestAppendAssignsDenseOneBasedIDs(t *testing.T) {
 	tr := trace.New()
 	for i := 0; i < 5; i++ {
-		id := tr.Append(mk(trace.KHeapRead, "p", 1, "r"))
+		id := tr.Append(mk(tr, trace.KHeapRead, "p", 1, "r"))
 		if id != trace.OpID(i+1) {
 			t.Fatalf("id %d, want %d", id, i+1)
 		}
@@ -38,7 +38,7 @@ func TestAtIsInverseOfAppend(t *testing.T) {
 		var ids []trace.OpID
 		for _, k := range kinds {
 			kind := trace.Kind(int(k)%int(trace.KRestart) + 1)
-			ids = append(ids, tr.Append(mk(kind, "p", 0, "")))
+			ids = append(ids, tr.Append(mk(tr, kind, "p", 0, "")))
 		}
 		for i, id := range ids {
 			r := tr.At(id)
@@ -83,16 +83,20 @@ func TestKindPredicates(t *testing.T) {
 
 func TestIndexGroupsAndCausality(t *testing.T) {
 	tr := trace.New()
-	spawn := tr.Append(mk(trace.KThreadCreate, "p", 1, ""))
-	start := tr.Append(trace.Record{Kind: trace.KThreadStart, PID: "p", Thread: 2, Causor: spawn})
-	read := tr.Append(trace.Record{Kind: trace.KHeapRead, PID: "p", Thread: 2, Frame: start, Res: "heap:p:o.f"})
-	write := tr.Append(trace.Record{Kind: trace.KHeapWrite, PID: "p", Thread: 2, Frame: start, Res: "heap:p:o.f"})
+	spawn := tr.Append(mk(tr, trace.KThreadCreate, "p", 1, ""))
+	start := tr.Append(trace.Record{Kind: trace.KThreadStart, PID: tr.Intern("p"), Thread: 2, Causor: spawn})
+	read := tr.Append(trace.Record{Kind: trace.KHeapRead, PID: tr.Intern("p"), Thread: 2, Frame: start, Res: tr.Intern("heap:p:o.f")})
+	write := tr.Append(trace.Record{Kind: trace.KHeapWrite, PID: tr.Intern("p"), Thread: 2, Frame: start, Res: tr.Intern("heap:p:o.f")})
 
 	ix := trace.BuildIndex(tr)
+	resSym, ok := tr.Lookup("heap:p:o.f")
+	if !ok {
+		t.Fatal("resource never interned")
+	}
 	if got := ix.ByKind[trace.KHeapRead]; len(got) != 1 || got[0] != read {
 		t.Fatalf("ByKind[read] = %v", got)
 	}
-	if got := ix.ByRes["heap:p:o.f"]; len(got) != 2 {
+	if got := ix.ResIDs(resSym); len(got) != 2 {
 		t.Fatalf("ByRes = %v", got)
 	}
 	if got := ix.Causees[spawn]; len(got) != 1 || got[0] != start {
@@ -101,10 +105,10 @@ func TestIndexGroupsAndCausality(t *testing.T) {
 	if c := ix.Causor(tr.At(read)); c == nil || c.ID != spawn {
 		t.Fatalf("Causor(read) = %v, want the spawn op", c)
 	}
-	if got := ix.WritesTo("heap:p:o.f"); len(got) != 1 || got[0] != write {
+	if got := ix.WritesTo(resSym); len(got) != 1 || got[0] != write {
 		t.Fatalf("WritesTo = %v", got)
 	}
-	if got := ix.ReadsOf("heap:p:o.f"); len(got) != 1 || got[0] != read {
+	if got := ix.ReadsOf(resSym); len(got) != 1 || got[0] != read {
 		t.Fatalf("ReadsOf = %v", got)
 	}
 }
@@ -122,13 +126,14 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	tr.CrashStep = 42
 	tr.CrashedPID = "x#1"
 	tr.PIDs = []string{"x#1", "y#1"}
+	stack := tr.PushFrame(tr.PushFrame(trace.NoStack, tr.Intern("main")), tr.Intern("fn"))
 	for i := 0; i < 20; i++ {
 		tr.Append(trace.Record{
-			Kind: trace.KStWrite, PID: "x#1", Thread: i, Res: "gfs:/f",
-			Taint: []trace.OpID{1, 2}, Stack: []string{"main", "fn"},
+			Kind: trace.KStWrite, PID: tr.Intern("x#1"), Thread: i, Res: tr.Intern("gfs:/f"),
+			Taint: []trace.OpID{1, 2}, Stack: stack,
 		})
 	}
-	path := filepath.Join(t.TempDir(), "t.gob.gz")
+	path := filepath.Join(t.TempDir(), "t.trace")
 	if err := tr.Save(path); err != nil {
 		t.Fatal(err)
 	}
@@ -139,15 +144,15 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if got.Len() != 20 || got.CrashStep != 42 || got.CrashedPID != "x#1" || len(got.PIDs) != 2 {
 		t.Fatalf("round trip lost data: %+v", got)
 	}
-	if got.Records[3].Stack[1] != "fn" {
-		t.Fatal("record contents lost")
+	if labels := got.StackLabels(got.Records[3].Stack); len(labels) != 2 || labels[1] != "fn" {
+		t.Fatalf("record contents lost: stack = %v", labels)
 	}
 }
 
 func TestJSONRoundTrip(t *testing.T) {
 	tr := trace.New()
-	tr.Append(mk(trace.KSignal, "p", 1, "cv:p:x/1"))
-	tr.Append(mk(trace.KWait, "p", 2, "cv:p:x/1"))
+	tr.Append(mk(tr, trace.KSignal, "p", 1, "cv:p:x/1"))
+	tr.Append(mk(tr, trace.KWait, "p", 2, "cv:p:x/1"))
 	var buf bytes.Buffer
 	if err := tr.WriteJSON(&buf); err != nil {
 		t.Fatal(err)
@@ -161,13 +166,16 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 }
 
-func TestRecordString(t *testing.T) {
-	r := trace.Record{ID: 7, TS: 9, PID: "n#1", Thread: 3, Kind: trace.KMsgSend,
-		Res: "", Aux: "ping", Target: "m#1", Site: "a.go:1"}
-	s := r.String()
-	for _, want := range []string{"#7", "n#1/3", "msg-send", "aux=ping", "->m#1", "@a.go:1"} {
+func TestTraceFormat(t *testing.T) {
+	tr := trace.New()
+	id := tr.Append(trace.Record{
+		TS: 9, PID: tr.Intern("n#1"), Thread: 3, Kind: trace.KMsgSend,
+		Aux: tr.Intern("ping"), Target: tr.Intern("m#1"), Site: tr.Intern("a.go:1"),
+	})
+	s := tr.Format(tr.At(id))
+	for _, want := range []string{"#1", "n#1/3", "msg-send", "aux=ping", "->m#1", "@a.go:1"} {
 		if !bytes.Contains([]byte(s), []byte(want)) {
-			t.Errorf("String() = %q missing %q", s, want)
+			t.Errorf("Format() = %q missing %q", s, want)
 		}
 	}
 }
