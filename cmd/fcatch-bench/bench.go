@@ -30,6 +30,9 @@ type benchEntry struct {
 	// SizeBytes is the encoded artifact size for trace-format benchmarks
 	// (0 for timing-only entries).
 	SizeBytes int64 `json:"size_bytes,omitempty"`
+	// PeakHeapBytes is the HeapAlloc high-water mark above the pre-run
+	// baseline for pipeline-memory entries (0 for timing-only entries).
+	PeakHeapBytes int64 `json:"peak_heap_bytes,omitempty"`
 }
 
 // benchReport is the envelope written by `fcatch-bench -json out.json`.
@@ -79,6 +82,7 @@ func runBenchSuite(seed int64, smoke bool) []benchEntry {
 			}
 		})
 		out = append(out, traceFormatEntries(seed, "TOY")...)
+		out = append(out, pipelineMemoryEntries(seed, true)...)
 		return out
 	}
 
@@ -151,12 +155,14 @@ func runBenchSuite(seed int64, smoke bool) []benchEntry {
 	})
 
 	out = append(out, traceFormatEntries(seed, "MR1")...)
+	out = append(out, pipelineMemoryEntries(seed, false)...)
 
 	return out
 }
 
 // traceFormatEntries benchmarks the trace codecs on the named workload's
-// fault-free trace: FCT1 encode/decode and the legacy gob encoder, each
+// fault-free trace: the chunked FCT2 encoder, the previous-generation FCT1
+// encoder and the legacy gob encoder, each with its decode path and each
 // entry carrying the encoded artifact size so BENCH_*.json records the
 // on-disk win alongside the cost.
 func traceFormatEntries(seed int64, workload string) []benchEntry {
@@ -168,8 +174,12 @@ func traceFormatEntries(seed int64, workload string) []benchEntry {
 	}
 	tr := obs.FaultFree
 
-	var fct, gob bytes.Buffer
-	if err := tr.Encode(&fct); err != nil {
+	var fct2, fct1, gob bytes.Buffer
+	if err := tr.Encode(&fct2); err != nil {
+		fmt.Fprintln(os.Stderr, "fcatch-bench: encode fct2:", err)
+		os.Exit(1)
+	}
+	if err := tr.EncodeFCT1(&fct1); err != nil {
 		fmt.Fprintln(os.Stderr, "fcatch-bench: encode fct1:", err)
 		os.Exit(1)
 	}
@@ -186,10 +196,18 @@ func traceFormatEntries(seed int64, workload string) []benchEntry {
 		out = append(out, e)
 	}
 
-	measure("trace-format/fct1/encode/"+workload, int64(fct.Len()), func(b *testing.B) {
+	measure("trace-format/fct2/encode/"+workload, int64(fct2.Len()), func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if err := tr.Encode(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	measure("trace-format/fct1/encode/"+workload, int64(fct1.Len()), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := tr.EncodeFCT1(io.Discard); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -202,22 +220,187 @@ func traceFormatEntries(seed int64, workload string) []benchEntry {
 			}
 		}
 	})
-	measure("trace-format/fct1/decode/"+workload, 0, func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := trace.Decode(bytes.NewReader(fct.Bytes())); err != nil {
-				b.Fatal(err)
+	for _, dec := range []struct {
+		name string
+		data []byte
+	}{
+		{"fct2", fct2.Bytes()},
+		{"fct1", fct1.Bytes()},
+		{"gob", gob.Bytes()},
+	} {
+		dec := dec
+		measure("trace-format/"+dec.name+"/decode/"+workload, 0, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := trace.Decode(bytes.NewReader(dec.data)); err != nil {
+					b.Fatal(err)
+				}
 			}
-		}
-	})
-	measure("trace-format/gob/decode/"+workload, 0, func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := trace.Decode(bytes.NewReader(gob.Bytes())); err != nil {
-				b.Fatal(err)
+		})
+	}
+	return out
+}
+
+// measurePeakHeap runs fn once while sampling runtime.ReadMemStats from a
+// watcher goroutine (plus boundary reads), returning the HeapAlloc high-water
+// mark above the pre-run baseline and the wall-clock time. A sampled
+// high-water slightly underestimates true peaks between samples; boundary
+// reads make the common monotonic-growth case exact.
+func measurePeakHeap(fn func()) (peak int64, elapsed time.Duration) {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	base := ms.HeapAlloc
+	high := base
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var s runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				return
+			default:
 			}
+			runtime.ReadMemStats(&s)
+			if s.HeapAlloc > high {
+				high = s.HeapAlloc
+			}
+			time.Sleep(200 * time.Microsecond)
 		}
-	})
+	}()
+	t0 := time.Now()
+	fn()
+	elapsed = time.Since(t0)
+	close(stop)
+	<-done
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > high {
+		high = ms.HeapAlloc
+	}
+	if high < base {
+		return 0, elapsed
+	}
+	return int64(high - base), elapsed
+}
+
+// pipelineMemoryEntries measures per-stage peak memory for the
+// load + index + detect pipeline over a saved trace pair, before and after
+// the streaming refactor: "monolithic" materializes both traces from the
+// previous-generation FCT1 encoding and then builds each graph in one shot
+// (the old pipeline shape); "streaming" drains the chunked FCT2 encoding
+// through hb.NewFromSource, so decode scratch stays one window and the index
+// grows alongside the records. The workload is the one with the largest
+// encoded fault-free trace (TOY in smoke mode).
+func pipelineMemoryEntries(seed int64, smoke bool) []benchEntry {
+	candidates := []string{"TOY"}
+	if !smoke {
+		candidates = candidates[:0]
+		for _, w := range fcatch.Workloads() {
+			candidates = append(candidates, w.Name())
+		}
+	}
+	opts := core.Options{Seed: seed, Phase: fcatch.PhaseBegin, Tracing: sim.TraceSelective, Parallelism: 1}
+	var (
+		pick     string
+		pickSize int
+		ff, fy   *trace.Trace
+	)
+	for _, name := range candidates {
+		obs, err := core.Observe(fcatch.MustWorkload(name), opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fcatch-bench: observe %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		var buf bytes.Buffer
+		if err := obs.FaultFree.Encode(&buf); err != nil {
+			fmt.Fprintln(os.Stderr, "fcatch-bench: encode:", err)
+			os.Exit(1)
+		}
+		if pick == "" || buf.Len() > pickSize {
+			pick, pickSize, ff, fy = name, buf.Len(), obs.FaultFree, obs.Faulty
+		}
+	}
+
+	var ff1, fy1, ff2, fy2 bytes.Buffer
+	for _, enc := range []struct {
+		buf *bytes.Buffer
+		t   *trace.Trace
+		v1  bool
+	}{{&ff1, ff, true}, {&fy1, fy, true}, {&ff2, ff, false}, {&fy2, fy, false}} {
+		var err error
+		if enc.v1 {
+			err = enc.t.EncodeFCT1(enc.buf)
+		} else {
+			err = enc.t.Encode(enc.buf)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fcatch-bench: encode:", err)
+			os.Exit(1)
+		}
+	}
+	ff, fy = nil, nil // only the encoded bytes should be live during measurement
+
+	fatal := func(err error) {
+		fmt.Fprintln(os.Stderr, "fcatch-bench: pipeline-memory:", err)
+		os.Exit(1)
+	}
+	monolithic := func() {
+		t1, err := trace.Decode(bytes.NewReader(ff1.Bytes()))
+		if err != nil {
+			fatal(err)
+		}
+		t2, err := trace.Decode(bytes.NewReader(fy1.Bytes()))
+		if err != nil {
+			fatal(err)
+		}
+		gf, gy := hb.New(t1), hb.New(t2)
+		_ = detect.DetectRegular(gf, pick)
+		_ = detect.DetectRecovery(gf, gy, pick)
+	}
+	streaming := func() {
+		s1, err := trace.NewSource(bytes.NewReader(ff2.Bytes()))
+		if err != nil {
+			fatal(err)
+		}
+		gf, err := hb.NewFromSource(s1)
+		if err != nil {
+			fatal(err)
+		}
+		s2, err := trace.NewSource(bytes.NewReader(fy2.Bytes()))
+		if err != nil {
+			fatal(err)
+		}
+		gy, err := hb.NewFromSource(s2)
+		if err != nil {
+			fatal(err)
+		}
+		_ = detect.DetectRegular(gf, pick)
+		_ = detect.DetectRecovery(gf, gy, pick)
+	}
+
+	var out []benchEntry
+	for _, m := range []struct {
+		name string
+		size int64
+		fn   func()
+	}{
+		{"pipeline-memory/monolithic/" + pick, int64(ff1.Len() + fy1.Len()), monolithic},
+		{"pipeline-memory/streaming/" + pick, int64(ff2.Len() + fy2.Len()), streaming},
+	} {
+		fmt.Fprintf(os.Stderr, "fcatch-bench: measuring %s...\n", m.name)
+		m.fn() // warm-up: stabilize lazily initialized runtime state
+		peak, elapsed := measurePeakHeap(m.fn)
+		out = append(out, benchEntry{
+			Name:          m.name,
+			Iterations:    1,
+			NsPerOp:       elapsed.Nanoseconds(),
+			SecondsOp:     elapsed.Seconds(),
+			SizeBytes:     m.size,
+			PeakHeapBytes: peak,
+		})
+	}
 	return out
 }
 

@@ -27,6 +27,7 @@ func main() {
 	batch := flag.Int("batch", 0, "max runs between strategy re-weightings (0 = strategy default)")
 	corpus := flag.String("corpus", "", "save the campaign corpus to this JSON file")
 	resume := flag.String("resume", "", "resume the campaign recorded in this corpus file")
+	spaceTrace := flag.String("space-trace", "", "enumerate the fault space from this saved fault-free trace (same workload/seed) instead of re-simulating it")
 	compare := flag.Bool("compare", false, "render the strategy-comparison table instead of one campaign")
 	diffA := flag.String("diff", "", "diff mode: first corpus file")
 	diffB := flag.String("diff2", "", "diff mode: second corpus file")
@@ -43,11 +44,11 @@ func main() {
 		runCompare(*workload, *runs, *seed, *parallelism)
 
 	default:
-		runCampaign(*workload, *strategy, *runs, *seed, *parallelism, *batch, *corpus, *resume)
+		runCampaign(*workload, *strategy, *runs, *seed, *parallelism, *batch, *corpus, *resume, *spaceTrace)
 	}
 }
 
-func runCampaign(workload, strategy string, runs int, seed int64, parallelism, batch int, corpusOut, resume string) {
+func runCampaign(workload, strategy string, runs int, seed int64, parallelism, batch int, corpusOut, resume, spaceTrace string) {
 	var prior *fcatch.CampaignCorpus
 	if resume != "" {
 		var err error
@@ -67,13 +68,21 @@ func runCampaign(workload, strategy string, runs int, seed int64, parallelism, b
 		fatal(err)
 	}
 
-	res, err := fcatch.ResumeCampaign(w, fcatch.CampaignConfig{
+	cfg := fcatch.CampaignConfig{
 		Strategy:    strategy,
 		Seed:        seed,
 		Budget:      runs,
 		Parallelism: parallelism,
 		BatchSize:   batch,
-	}, prior)
+	}
+	if spaceTrace != "" {
+		src, err := fcatch.OpenTrace(spaceTrace)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.SpaceTrace = src // the engine drains and closes it
+	}
+	res, err := fcatch.ResumeCampaign(w, cfg, prior)
 	if err != nil {
 		fatal(err)
 	}

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"fcatch"
@@ -51,6 +52,7 @@ func main() {
 	res := fs.String("res", "", "grep: resource substring filter")
 	pid := fs.String("pid", "", "grep: process filter (exact, or prefix with trailing *)")
 	faulty := fs.Bool("faulty", false, "grep: search the faulty run instead of the fault-free one")
+	in := fs.String("in", "", "grep: stream a saved trace file instead of re-observing the workload")
 	parallelism := fs.Int("parallelism", 0, "worker bound for detect/trigger/random (0 = GOMAXPROCS, 1 = sequential; results identical at any setting)")
 	_ = fs.Parse(os.Args[2:])
 
@@ -147,14 +149,6 @@ func main() {
 			trace.FormatMagic)
 
 	case "grep":
-		obs, err := core.Observe(w, opts)
-		if err != nil {
-			fatal(err)
-		}
-		tr := obs.FaultFree
-		if *faulty {
-			tr = obs.Faulty
-		}
 		q := trace.Query{ResContains: *res, PID: *pid}
 		if *kind != "" {
 			k, ok := trace.KindByName(*kind)
@@ -162,6 +156,42 @@ func main() {
 				fatal(fmt.Errorf("unknown op kind %q", *kind))
 			}
 			q.Kinds = []trace.Kind{k}
+		}
+		if *in != "" {
+			// Stream the saved trace window by window; matching needs no
+			// look-back, so tell the source not to retain records and the
+			// grep runs in O(window) memory however large the file is.
+			src, err := fcatch.OpenTrace(*in)
+			if err != nil {
+				fatal(err)
+			}
+			defer src.Close()
+			if rs, ok := src.(interface{ SetRetain(bool) }); ok {
+				rs.SetRetain(false)
+			}
+			tr := src.Trace()
+			for {
+				win, err := src.Next()
+				if err == io.EOF {
+					break
+				} else if err != nil {
+					fatal(err)
+				}
+				for i := range win {
+					if q.Match(tr, &win[i]) {
+						fmt.Println(tr.Format(&win[i]))
+					}
+				}
+			}
+			return
+		}
+		obs, err := core.Observe(w, opts)
+		if err != nil {
+			fatal(err)
+		}
+		tr := obs.FaultFree
+		if *faulty {
+			tr = obs.Faulty
 		}
 		for _, r := range tr.Filter(q) {
 			fmt.Println(tr.Format(r))

@@ -164,11 +164,31 @@ const (
 func SaveTrace(t *Trace, path string) error { return t.Save(path) }
 
 // LoadTrace reads a trace from path, sniffing the format: current binary
-// traces and pre-versioning gob traces both load.
+// traces, previous-generation binary traces and pre-versioning gob traces all
+// load. It is a thin drain over OpenTrace — callers that can process records
+// in bounded windows should prefer the streaming form.
 func LoadTrace(path string) (*Trace, error) { return trace.Load(path) }
 
 // DecodeTrace is LoadTrace over an arbitrary reader.
 func DecodeTrace(r io.Reader) (*Trace, error) { return trace.Decode(r) }
+
+// TraceSource is a pull-based stream of trace records: repeated Next calls
+// yield bounded record windows (io.EOF at end of stream), Trace gives the
+// stream's symbol tables and metadata, and Close releases the underlying
+// file. Sources feed the streaming analysis path (incremental indexing,
+// coverage folds) without materializing the full record slice.
+type TraceSource = trace.Source
+
+// OpenTrace opens a saved trace for streaming, sniffing the format like
+// LoadTrace. Current-format traces decode incrementally — peak memory is
+// O(window), not O(trace) — while older formats are materialized and then
+// windowed, so every format serves the same Source interface.
+func OpenTrace(path string) (TraceSource, error) { return trace.Open(path) }
+
+// StreamTrace is OpenTrace over an arbitrary reader. The reader must remain
+// valid until the source is closed; closing the source does not close the
+// reader.
+func StreamTrace(r io.Reader) (TraceSource, error) { return trace.NewSource(r) }
 
 // ReportGroup is a correlated set of crash-recovery reports (the Section 2.3
 // multi-resource extension).

@@ -7,10 +7,13 @@ import (
 	"reflect"
 	"testing"
 
+	"bytes"
+
 	"fcatch/internal/apps/hbase"
 	"fcatch/internal/apps/toy"
 	"fcatch/internal/core"
 	"fcatch/internal/sim"
+	"fcatch/internal/trace"
 )
 
 func TestStripPID(t *testing.T) {
@@ -356,5 +359,101 @@ func TestExhaustiveStopsAtSpace(t *testing.T) {
 			t.Fatalf("point %s run twice", e.Plan.Key())
 		}
 		seen[e.Plan.Key()] = true
+	}
+}
+
+// TestCoverageFoldMatchesMaterialized pins the streamed coverage signature:
+// folding the trace window by window (any batching, including the engine's
+// discard-mode streaming) must hash to exactly what the one-shot fold over a
+// fully materialized trace computes — with and without a fault firing.
+func TestCoverageFoldMatchesMaterialized(t *testing.T) {
+	w := toy.New()
+	restart := w.RestartRoles()
+	c, steps := tracedFaultFree(t, w)
+	tr := c.Trace()
+
+	// Fault-free trace, re-folded at several window sizes.
+	want := postFaultCoverage(tr)
+	for _, batch := range []int{1, 3, 17, len(tr.Records)} {
+		var f CoverageFold
+		for pos := 0; pos < len(tr.Records); pos += batch {
+			end := pos + batch
+			if end > len(tr.Records) {
+				end = len(tr.Records)
+			}
+			f.Window(tr, tr.Records[pos:end])
+		}
+		if got := f.Hash(tr); got != want {
+			t.Fatalf("fault-free batch %d: fold hash %#x, want %#x", batch, got, want)
+		}
+	}
+
+	// Faulty runs: the engine's discard-mode streamed hash must equal the
+	// reference computed from the same plan with records fully retained.
+	sp := NewSpace(tr, steps, w.CrashTarget(), 0)
+	n := len(sp.Points)
+	if n > 10 {
+		n = 10
+	}
+	var fired int
+	for _, p := range sp.Points[:n] {
+		streamed := runPlan(w, 1, p, sp.Target, restart, true)
+
+		rcfg := sim.Config{Seed: 1, Tracing: sim.TraceSelective, Plan: p.simPlan(sp.Target, restart)}
+		w.Tune(&rcfg)
+		ref := sim.NewCluster(rcfg)
+		w.Configure(ref)
+		ref.Run()
+		refTr := ref.Trace()
+		for i := range refTr.Records {
+			r := &refTr.Records[i]
+			if r.Kind == trace.KCrash || r.Flags&trace.FlagDropped != 0 {
+				fired++
+				break
+			}
+		}
+		if got, want := streamed.Sig.Coverage, postFaultCoverage(refTr); got != want {
+			t.Fatalf("plan %s: streamed coverage %#x, materialized reference %#x", p.Key(), got, want)
+		}
+	}
+	if fired == 0 {
+		t.Fatal("no sampled plan fired its fault; the post-fault path went untested")
+	}
+}
+
+// TestSpaceFromSourceMatchesNewSpace: enumerating the fault space from a
+// streamed trace source (any batching) reproduces NewSpace exactly.
+func TestSpaceFromSourceMatchesNewSpace(t *testing.T) {
+	w := toy.New()
+	c, steps := tracedFaultFree(t, w)
+	tr := c.Trace()
+	want := NewSpace(tr, steps, w.CrashTarget(), 0)
+
+	for _, batch := range []int{1, 5, 1024} {
+		got, err := NewSpaceFromSource(trace.SourceOf(tr, batch), steps, w.CrashTarget(), 0)
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("batch %d: streamed space diverged from NewSpace", batch)
+		}
+	}
+
+	// And through a full FCT2 encode/decode round trip (the -space-trace
+	// path: enumerate from a saved trace file).
+	var buf bytes.Buffer
+	if err := trace.EncodeStream(trace.SourceOf(tr, 7), &buf); err != nil {
+		t.Fatal(err)
+	}
+	src, err := trace.NewSource(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewSpaceFromSource(src, steps, w.CrashTarget(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("space enumerated from the decoded FCT2 stream diverged")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"fcatch/internal/core"
 	"fcatch/internal/parallel"
 	"fcatch/internal/sim"
+	"fcatch/internal/trace"
 )
 
 // Config parameterizes one campaign.
@@ -30,6 +31,13 @@ type Config struct {
 	BatchSize int
 	// MaxOccurrence caps per-site occurrences in the fault space (0 = 3).
 	MaxOccurrence int
+	// SpaceTrace, when set, is a streaming source of a previously saved
+	// fault-free trace: site strategies enumerate the fault space from it
+	// (drained window by window, then closed) instead of re-simulating a
+	// traced fault-free run. The trace must come from the same workload and
+	// seed or the enumerated space — and hence the whole campaign — will
+	// diverge from a from-scratch run.
+	SpaceTrace trace.Source
 }
 
 func (cfg Config) withDefaults() Config {
@@ -119,11 +127,21 @@ func Resume(w core.Workload, cfg Config, prior *Corpus) (*Result, error) {
 
 	// Site strategies additionally need a traced fault-free run to
 	// enumerate the fault space, and trace their injection runs so behavior
-	// signatures carry post-fault site coverage.
+	// signatures carry post-fault site coverage. The run streams its records
+	// through a space fold and discards them — the engine never materializes
+	// a full trace.
 	traced := needsSpace(cfg.Strategy)
 	var sp *Space
-	if traced {
-		tCfg := sim.Config{Seed: cfg.Seed, Tracing: sim.TraceSelective}
+	switch {
+	case traced && cfg.SpaceTrace != nil:
+		sp, err = NewSpaceFromSource(cfg.SpaceTrace, base.Steps, w.CrashTarget(), cfg.MaxOccurrence)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: reading fault space trace: %w", err)
+		}
+	case traced:
+		fold := newSpaceFold(base.Steps, w.CrashTarget())
+		tCfg := sim.Config{Seed: cfg.Seed, Tracing: sim.TraceSelective,
+			TraceDiscard: true, OnTraceWindow: fold.Window}
 		w.Tune(&tCfg)
 		tc := sim.NewCluster(tCfg)
 		w.Configure(tc)
@@ -131,8 +149,8 @@ func Resume(w core.Workload, cfg Config, prior *Corpus) (*Result, error) {
 		if err := w.Check(tc, tOut); err != nil {
 			return nil, fmt.Errorf("campaign: traced fault-free run of %s incorrect: %w", w.Name(), err)
 		}
-		sp = NewSpace(tc.Trace(), base.Steps, w.CrashTarget(), cfg.MaxOccurrence)
-	} else {
+		sp = fold.finish(cfg.MaxOccurrence)
+	default:
 		sp = &Space{Target: w.CrashTarget(), BaseSteps: base.Steps}
 	}
 	st.Init(sp, cfg.Seed, cfg.Budget)
@@ -174,19 +192,31 @@ func Resume(w core.Workload, cfg Config, prior *Corpus) (*Result, error) {
 	return res, nil
 }
 
-// runPlan executes one injection run in its own isolated cluster.
+// runPlan executes one injection run in its own isolated cluster. Traced runs
+// stream their records through a coverage fold and discard them, so a run's
+// peak memory stays O(batch + symbol tables) regardless of trace length.
 func runPlan(w core.Workload, seed int64, p Plan, target string, restart map[string]int64, traced bool) RunResult {
-	mode := sim.TraceOff
+	rcfg := sim.Config{Seed: seed, Tracing: sim.TraceOff, Plan: p.simPlan(target, restart)}
+	var fold *CoverageFold
 	if traced {
-		mode = sim.TraceSelective
+		fold = new(CoverageFold)
+		rcfg.Tracing = sim.TraceSelective
+		rcfg.TraceDiscard = true
+		rcfg.OnTraceWindow = fold.Window
 	}
-	rcfg := sim.Config{Seed: seed, Tracing: mode, Plan: p.simPlan(target, restart)}
 	w.Tune(&rcfg)
 	c := sim.NewCluster(rcfg)
 	w.Configure(c)
 	out := c.Run()
 	checkErr := w.Check(c, out)
-	sig := signatureOf(w, out, checkErr, c.Trace())
+	sig := Signature{Outcome: outcomeClass(out, checkErr)}
+	if sig.Outcome != OutcomeOK {
+		sig.Symptom = Symptom(out, checkErr)
+		sig.Expected = ExpectedSymptom(w, sig.Symptom)
+	}
+	if fold != nil {
+		sig.Coverage = fold.Hash(c.Trace())
+	}
 	verdict := VerdictTolerated
 	if sig.Outcome != OutcomeOK {
 		if sig.Expected {

@@ -156,42 +156,98 @@ func signatureOf(w core.Workload, out *sim.Outcome, checkErr error, tr *trace.Tr
 	return sig
 }
 
-// postFaultCoverage hashes the set of static sites the system reached at or
-// after the moment the fault fired — the "sites reached post-injection" part
-// of the behavior signature. The fault moment is the first crash bookkeeping
-// record or the first dropped send; if neither exists (the fault never
-// fired), the whole run counts.
-func postFaultCoverage(tr *trace.Trace) uint64 {
-	var fireTS int64 = -1
-	for i := range tr.Records {
-		r := &tr.Records[i]
-		if r.Kind == trace.KCrash || r.HasFlag(trace.FlagDropped) {
-			fireTS = r.TS
-			break
-		}
-	}
-	// Dedupe by Sym (a flat-slice probe per record), then resolve and sort the
-	// distinct site strings — the hash input is byte-identical to the old
-	// string-set implementation.
-	seen := make([]bool, tr.NumSyms())
-	n := 0
-	for i := range tr.Records {
-		r := &tr.Records[i]
-		if r.TS >= fireTS && r.Site != trace.NoSym && r.Kind != trace.KCrash && r.Kind != trace.KRestart {
-			if !seen[r.Site] {
-				seen[r.Site] = true
-				n++
+// CoverageFold computes the post-fault site-coverage hash incrementally from
+// streamed record windows, so injection runs can discard their records
+// (sim.Config.TraceDiscard) instead of materializing a full trace per run.
+// Window is a trace.WindowFn; after the run, Hash resolves the accumulated
+// site set against the run's symbol table.
+//
+// The fault moment is the first crash bookkeeping record or the first dropped
+// send. A site counts when some execution of it has TS >= the fault's TS; if
+// the fault never fired, the whole run counts. Timestamps are monotonically
+// non-decreasing in simulator traces, which is what lets one forward pass
+// replicate the two-pass definition exactly: once the fault record appears,
+// every later record is at or past its TS, and the only look-back needed is
+// the run of records sharing the fault's own timestamp, which the fold
+// buffers.
+type CoverageFold struct {
+	fired bool
+	pre   []bool // all countable sites, used only when the fault never fires
+	post  []bool // countable sites at or after the fault moment
+
+	// curTS/curSites buffer the countable sites of the current (pre-fire)
+	// timestamp: records that share the fault's TS count even though they
+	// precede the fault record in trace order.
+	curTS    int64
+	curSites []trace.Sym
+}
+
+// Window folds one window of records into the coverage state (a
+// trace.WindowFn — safe to call with a reused, non-retained window slice).
+func (f *CoverageFold) Window(t *trace.Trace, recs []trace.Record) {
+	for i := range recs {
+		r := &recs[i]
+		if !f.fired && (r.Kind == trace.KCrash || r.HasFlag(trace.FlagDropped)) {
+			f.fired = true
+			if f.curTS == r.TS {
+				for _, y := range f.curSites {
+					markSym(&f.post, y)
+				}
 			}
+			f.curSites = nil
 		}
+		if r.Site == trace.NoSym || r.Kind == trace.KCrash || r.Kind == trace.KRestart {
+			continue
+		}
+		if f.fired {
+			markSym(&f.post, r.Site)
+			continue
+		}
+		markSym(&f.pre, r.Site)
+		if r.TS != f.curTS {
+			f.curTS = r.TS
+			f.curSites = f.curSites[:0]
+		}
+		f.curSites = append(f.curSites, r.Site)
 	}
-	sites := make([]string, 0, n)
-	for y, ok := range seen {
+}
+
+// Hash resolves the accumulated site set against t's symbol table and returns
+// the FNV-1a hash of the sorted distinct site strings — byte-identical input
+// to the materialized postFaultCoverage.
+func (f *CoverageFold) Hash(t *trace.Trace) uint64 {
+	chosen := f.pre
+	if f.fired {
+		chosen = f.post
+	}
+	sites := make([]string, 0, len(chosen))
+	for y, ok := range chosen {
 		if ok {
-			sites = append(sites, tr.Str(trace.Sym(y)))
+			sites = append(sites, t.Str(trace.Sym(y)))
 		}
 	}
 	sort.Strings(sites)
-	// FNV-1a over the sorted site set.
+	return hashSiteSet(sites)
+}
+
+// markSym sets s[y], growing the slice (amortized doubling) as new symbols
+// appear mid-stream.
+func markSym(s *[]bool, y trace.Sym) {
+	if int(y) >= len(*s) {
+		n := 2 * len(*s)
+		if n <= int(y) {
+			n = int(y) + 1
+		}
+		grown := make([]bool, n)
+		copy(grown, *s)
+		*s = grown
+	}
+	(*s)[y] = true
+}
+
+// hashSiteSet is FNV-1a over a sorted site set, with a 0xff separator folded
+// in after each string.
+func hashSiteSet(sites []string) uint64 {
 	const offset64, prime64 = 14695981039346656037, 1099511628211
 	h := uint64(offset64)
 	for _, s := range sites {
@@ -203,4 +259,13 @@ func postFaultCoverage(tr *trace.Trace) uint64 {
 		h *= prime64
 	}
 	return h
+}
+
+// postFaultCoverage hashes the set of static sites the system reached at or
+// after the moment the fault fired — the materialized-trace form, now a thin
+// wrapper over the streaming fold (one implementation, one hash).
+func postFaultCoverage(tr *trace.Trace) uint64 {
+	var f CoverageFold
+	f.Window(tr, tr.Records)
+	return f.Hash(tr)
 }

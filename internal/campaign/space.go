@@ -1,6 +1,8 @@
 package campaign
 
 import (
+	"io"
+
 	"fcatch/internal/trace"
 )
 
@@ -50,28 +52,71 @@ const maxOccurrenceDefault = 3
 
 // NewSpace enumerates the fault space of a traced fault-free run.
 func NewSpace(tr *trace.Trace, baseSteps int64, target string, maxOcc int) *Space {
-	if maxOcc <= 0 {
-		maxOcc = maxOccurrenceDefault
-	}
-	sp := &Space{Target: target, BaseSteps: baseSteps, siteOrd: map[string]int{}}
+	f := newSpaceFold(baseSteps, target)
+	f.Window(tr, tr.Records)
+	return f.finish(maxOcc)
+}
 
-	// Per-Sym ordinal table for the enumeration loop (one slice probe per
-	// record); the string-keyed siteOrd stays for SiteOrdinal's public API and
-	// is filled once per distinct site.
-	ordBySym := make([]int, tr.NumSyms())
-	for i := range ordBySym {
-		ordBySym[i] = -1
+// NewSpaceFromSource enumerates the fault space by draining a streaming trace
+// source window by window — same Space as NewSpace over the materialized
+// trace, at O(batch + sites) peak memory. The source is closed.
+func NewSpaceFromSource(src trace.Source, baseSteps int64, target string, maxOcc int) (*Space, error) {
+	f := newSpaceFold(baseSteps, target)
+	defer src.Close()
+	t := src.Trace()
+	for {
+		win, err := src.Next()
+		if err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		f.Window(t, win)
 	}
-	for i := range tr.Records {
-		r := &tr.Records[i]
+	return f.finish(maxOcc), nil
+}
+
+// spaceFold accumulates per-site statistics from streamed record windows; its
+// Window method is a trace.WindowFn, so the engine's traced fault-free run
+// can enumerate the space while discarding its records.
+type spaceFold struct {
+	sp *Space
+	// Per-Sym ordinal table for the enumeration loop (one slice probe per
+	// record, grown as symbols appear mid-stream); the string-keyed siteOrd
+	// stays for SiteOrdinal's public API and is filled once per distinct site.
+	ordBySym []int
+}
+
+func newSpaceFold(baseSteps int64, target string) *spaceFold {
+	return &spaceFold{sp: &Space{Target: target, BaseSteps: baseSteps, siteOrd: map[string]int{}}}
+}
+
+// Window folds one window of records into the site statistics (a
+// trace.WindowFn — safe to call with a reused, non-retained window slice).
+func (f *spaceFold) Window(t *trace.Trace, recs []trace.Record) {
+	sp := f.sp
+	for i := range recs {
+		r := &recs[i]
 		if r.Site == trace.NoSym || r.Kind == trace.KCrash || r.Kind == trace.KRestart {
 			continue
 		}
-		ord := ordBySym[r.Site]
+		for int(r.Site) >= len(f.ordBySym) {
+			n := 2 * len(f.ordBySym)
+			if n <= int(r.Site) {
+				n = int(r.Site) + 1
+			}
+			grown := make([]int, n)
+			copy(grown, f.ordBySym)
+			for j := len(f.ordBySym); j < n; j++ {
+				grown[j] = -1
+			}
+			f.ordBySym = grown
+		}
+		ord := f.ordBySym[r.Site]
 		if ord < 0 {
 			ord = len(sp.Sites)
-			ordBySym[r.Site] = ord
-			site := tr.Str(r.Site)
+			f.ordBySym[r.Site] = ord
+			site := t.Str(r.Site)
 			sp.siteOrd[site] = ord
 			sp.Sites = append(sp.Sites, SiteInfo{Site: site, FirstTS: r.TS})
 		}
@@ -84,7 +129,15 @@ func NewSpace(tr *trace.Trace, baseSteps int64, target string, maxOcc int) *Spac
 			}
 		}
 	}
+}
 
+// finish enumerates the candidate plans over the accumulated sites and
+// returns the completed space.
+func (f *spaceFold) finish(maxOcc int) *Space {
+	if maxOcc <= 0 {
+		maxOcc = maxOccurrenceDefault
+	}
+	sp := f.sp
 	for occ := 1; occ <= maxOcc; occ++ {
 		for _, si := range sp.Sites {
 			if si.Count < occ {

@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"testing"
+	"time"
 
 	"fcatch/internal/apps/toy"
 	"fcatch/internal/core"
@@ -174,5 +175,36 @@ func TestTraceRoundTrip(t *testing.T) {
 	}
 	if got.CrashStep != obs.FaultFree.CrashStep {
 		t.Fatal("round-trip lost metadata")
+	}
+}
+
+// TestTimingsStayWithinWallClock pins the Table 4 timing attribution: with
+// the pipeline fully sequential (Parallelism=1, builder feed time subtracted
+// from the tracing columns), the per-stage timings must sum to no more than
+// the measured wall clock around Detect.
+func TestTimingsStayWithinWallClock(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.Parallelism = 1
+	start := time.Now()
+	res, err := core.Detect(toy.New(), opts)
+	if err != nil {
+		t.Fatalf("Detect: %v", err)
+	}
+	wall := time.Since(start)
+
+	tm := res.Observation.Timings
+	for name, d := range map[string]time.Duration{
+		"TracingFaultFree": tm.TracingFaultFree,
+		"TracingFaulty":    tm.TracingFaulty,
+		"AnalysisRegular":  tm.AnalysisRegular,
+		"AnalysisRecovery": tm.AnalysisRecovery,
+	} {
+		if d < 0 {
+			t.Errorf("%s is negative: %v", name, d)
+		}
+	}
+	// A small epsilon absorbs clock granularity on the per-stage reads.
+	if sum := tm.Overall(); sum > wall+5*time.Millisecond {
+		t.Errorf("stage timings sum to %v, exceeding the %v wall clock", sum, wall)
 	}
 }

@@ -6,7 +6,9 @@
 package hb
 
 import (
+	"io"
 	"sync"
+	"time"
 
 	"fcatch/internal/trace"
 )
@@ -28,11 +30,18 @@ type Graph struct {
 	crossAnc map[trace.OpID]trace.OpID   // memoized CrossNodeAncestor (NoOp = no remote ancestor)
 }
 
-// New builds the causality graph for a trace. The memo tables start nil —
-// graphs used only for closures (like the faulty-run graph in the recovery
-// detector) never pay for them.
+// New builds the causality graph for a materialized trace. The memo tables
+// start nil — graphs used only for closures (like the faulty-run graph in
+// the recovery detector) never pay for them.
 func New(t *trace.Trace) *Graph {
-	g := &Graph{Ix: trace.BuildIndex(t)}
+	return newGraph(trace.BuildIndex(t), t)
+}
+
+// newGraph finalizes a fully extended index into a Graph. The "system"
+// lookup happens here — after interning has stopped — so incremental
+// builders stay safe to run against a live trace.
+func newGraph(ix *trace.Index, t *trace.Trace) *Graph {
+	g := &Graph{Ix: ix}
 	if y, ok := t.Lookup("system"); ok {
 		g.systemSym = y
 	} else {
@@ -40,6 +49,105 @@ func New(t *trace.Trace) *Graph {
 	}
 	return g
 }
+
+// NewFromSource builds the graph by draining a streaming Source window by
+// window: the index is extended per batch, so peak memory stays at
+// O(batch + index) while the records stream past (plus the records
+// themselves when the source retains them). The source is closed.
+func NewFromSource(src trace.Source) (*Graph, error) {
+	t := src.Trace()
+	ix := trace.NewIndex(t)
+	if h, ok := src.(trace.Hinter); ok {
+		if sh, known := h.SizeHints(); known {
+			ix.ByRes = make([][]trace.OpID, 0, sh.Syms)
+			ix.BySite = make([][]trace.OpID, 0, sh.Syms)
+		}
+	}
+	defer src.Close()
+	for {
+		win, err := src.Next()
+		if err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		ix.Extend(win)
+	}
+	ix.Finish()
+	return newGraph(ix, t), nil
+}
+
+// Builder extends a trace index incrementally while the trace is still being
+// produced — its Window method is a trace.WindowFn, so it plugs straight
+// into a sim run's OnTraceWindow hook. In synchronous mode the index work
+// runs inline in the producer (under the scheduler baton); in async mode it
+// runs on a builder goroutine, overlapping simulation and indexing. Windows
+// must stay valid after delivery (a retaining Writer), which they do: trace
+// records are never mutated once appended.
+type Builder struct {
+	t  *trace.Trace
+	ix *trace.Index
+
+	feed time.Duration // time spent inside Window deliveries
+	busy time.Duration // total index-construction time (feed + Finish)
+
+	ch   chan []trace.Record
+	done chan struct{}
+}
+
+// NewBuilder starts an incremental graph build over t. With async set, index
+// extension happens on a separate goroutine; Finish must be called
+// eventually (even on error paths) to stop it.
+func NewBuilder(t *trace.Trace, async bool) *Builder {
+	b := &Builder{t: t, ix: trace.NewIndex(t)}
+	if async {
+		b.ch = make(chan []trace.Record, 16)
+		b.done = make(chan struct{})
+		go func() {
+			defer close(b.done)
+			for recs := range b.ch {
+				t0 := time.Now()
+				b.ix.Extend(recs)
+				b.feed += time.Since(t0)
+			}
+		}()
+	}
+	return b
+}
+
+// Window feeds one window of records to the index (a trace.WindowFn).
+func (b *Builder) Window(t *trace.Trace, recs []trace.Record) {
+	if b.ch != nil {
+		b.ch <- recs
+		return
+	}
+	t0 := time.Now()
+	b.ix.Extend(recs)
+	b.feed += time.Since(t0)
+}
+
+// Finish completes the build and returns the graph. It must be called after
+// the producing run has ended (interning has stopped). Idempotent per
+// builder is NOT guaranteed — call it exactly once.
+func (b *Builder) Finish() *Graph {
+	if b.ch != nil {
+		close(b.ch)
+		<-b.done
+	}
+	t0 := time.Now()
+	b.ix.Finish()
+	g := newGraph(b.ix, b.t)
+	b.busy = b.feed + time.Since(t0)
+	return g
+}
+
+// FeedTime is the time spent extending the index during Window deliveries —
+// in synchronous mode, work that executed inside the producing run's wall
+// clock.
+func (b *Builder) FeedTime() time.Duration { return b.feed }
+
+// BuildTime is the total index-construction time (valid after Finish).
+func (b *Builder) BuildTime() time.Duration { return b.busy }
 
 // ForwardClosure is Algorithm 1: the set of operations that causally depend
 // on the seed operations. Seeds may be causal ops (thread creates, RPC

@@ -1,6 +1,8 @@
 package hb_test
 
 import (
+	"bytes"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -173,5 +175,54 @@ func TestEscapingSeeds(t *testing.T) {
 	if got := g.EscapingSeeds("b#1"); len(got) != 0 {
 		// The enqueue is intra-node: it does not escape.
 		t.Fatalf("EscapingSeeds(b) = %v, want none", got)
+	}
+}
+
+// TestNewFromSourceMatchesNew pins the streaming graph build: extending the
+// index window by window (at any window size, and through a full FCT2
+// encode/decode round trip) must produce the same index as the monolithic
+// build.
+func TestNewFromSourceMatchesNew(t *testing.T) {
+	tr, _ := build()
+	want := hb.New(tr)
+
+	for _, batch := range []int{1, 3, 1024} {
+		g, err := hb.NewFromSource(trace.SourceOf(tr, batch))
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		if !reflect.DeepEqual(g.Ix, want.Ix) {
+			t.Fatalf("batch %d: streamed index diverged from BuildIndex", batch)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := trace.EncodeStream(trace.SourceOf(tr, 2), &buf); err != nil {
+		t.Fatal(err)
+	}
+	src, err := trace.NewSource(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := hb.NewFromSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The decoded trace is a distinct object (its intern tables initialize
+	// lazily and may differ in representation), so compare the derived index
+	// tables rather than the whole Ix.
+	if !reflect.DeepEqual(g.Ix.ByKind, want.Ix.ByKind) ||
+		!reflect.DeepEqual(g.Ix.ByRes, want.Ix.ByRes) ||
+		!reflect.DeepEqual(g.Ix.BySite, want.Ix.BySite) ||
+		!reflect.DeepEqual(g.Ix.Causees, want.Ix.Causees) ||
+		!reflect.DeepEqual(g.Ix.FrameOps, want.Ix.FrameOps) ||
+		!reflect.DeepEqual(g.Ix.ThreadStart, want.Ix.ThreadStart) {
+		t.Fatal("index built from the decoded FCT2 stream diverged")
+	}
+	// The graphs must also agree behaviorally, not just structurally.
+	for op := trace.OpID(1); int(op) <= len(tr.Records); op++ {
+		if got, exp := g.BackwardChain(op), want.BackwardChain(op); !reflect.DeepEqual(got, exp) {
+			t.Fatalf("op %d: BackwardChain diverged: %v vs %v", op, got, exp)
+		}
 	}
 }

@@ -118,12 +118,17 @@ func (tg *Triggerer) Trigger(rep *detect.Report) *Outcome {
 		if at.restart {
 			plan.RestartRoles = tg.W.RestartRoles()
 		}
-		cfg := sim.Config{Seed: tg.Seed, Tracing: sim.TraceSelective, Plan: plan, TraceTickCost: 1}
+		// Replays stream their records through the handled-exception fold and
+		// discard them: classification needs only the fold's verdict, so a
+		// replay's memory stays O(batch + symbol tables).
+		fold := &handledExcFold{site: rep.R.Site}
+		cfg := sim.Config{Seed: tg.Seed, Tracing: sim.TraceSelective, Plan: plan, TraceTickCost: 1,
+			TraceDiscard: true, OnTraceWindow: fold.Window}
 		tg.W.Tune(&cfg)
 		c := sim.NewCluster(cfg)
 		tg.W.Configure(c)
 		runOut := c.Run()
-		cls, kind, detail := tg.classify(c, runOut, rep)
+		cls, kind, detail := tg.classify(c, runOut, fold)
 		out.ByAction[at.action.String()] = cls == TrueBug
 		// The strongest verdict across fault types wins (TrueBug < Expected
 		// < Benign in severity order).
@@ -137,7 +142,7 @@ func (tg *Triggerer) Trigger(rep *detect.Report) *Outcome {
 }
 
 // classify turns a trigger run's outcome into a verdict for one report.
-func (tg *Triggerer) classify(c *sim.Cluster, out *sim.Outcome, rep *detect.Report) (Classification, string, string) {
+func (tg *Triggerer) classify(c *sim.Cluster, out *sim.Outcome, fold *handledExcFold) (Classification, string, string) {
 	checkErr := tg.W.Check(c, out)
 	failed := !out.Completed || len(out.FatalLogs) > 0 || len(out.UncaughtExceptions) > 0 || checkErr != nil
 
@@ -154,37 +159,70 @@ func (tg *Triggerer) classify(c *sim.Cluster, out *sim.Outcome, rep *detect.Repo
 	// handled it — this is the paper's "well-handled exception" category.
 	// The dependence requirement keeps unrelated recovery-path exceptions
 	// from contaminating other reports' verdicts.
-	if tr := c.Trace(); tr != nil {
-		// The report carries the site as a string; this run's trace has its
-		// own symbol table, so resolve once and compare Syms from there on.
-		siteY, siteOK := tr.Lookup(rep.R.Site)
-		rOps := map[trace.OpID]bool{}
-		if siteOK && siteY != trace.NoSym {
-			for i := range tr.Records {
-				r := &tr.Records[i]
-				if r.Site == siteY {
-					rOps[r.ID] = true
-				}
+	if fold != nil && fold.found {
+		return Expected, "handled-exception", fold.detail
+	}
+	return Benign, "", ""
+}
+
+// handledExcFold detects the "well-handled exception" condition in one pass
+// over streamed record windows: a KThrow whose taint or control set contains
+// an execution of the report's read site. Exact as a forward fold because a
+// throw's dependence sets only ever reference earlier operations (smaller
+// OpIDs), so every relevant site execution has been folded in before its
+// dependent throw arrives. Its Window method is a trace.WindowFn.
+type handledExcFold struct {
+	site string // the report's read site, as a string
+
+	// siteY is the site's Sym in this run's own symbol table, resolved
+	// lazily: windows are delivered after their records' strings were
+	// interned, so the lookup succeeds by the first window that matters.
+	siteY trace.Sym
+	haveY bool
+
+	rOps   map[trace.OpID]bool // executions of the site seen so far
+	found  bool
+	detail string
+}
+
+// Window folds one window of records (a trace.WindowFn — safe to call with a
+// reused, non-retained window slice).
+func (f *handledExcFold) Window(tr *trace.Trace, recs []trace.Record) {
+	if f.found {
+		return
+	}
+	if !f.haveY {
+		if y, ok := tr.Lookup(f.site); ok && y != trace.NoSym {
+			f.siteY, f.haveY = y, true
+		}
+		if !f.haveY {
+			return // no execution of the site can be in this window either
+		}
+	}
+	for i := range recs {
+		r := &recs[i]
+		if r.Site == f.siteY {
+			if f.rOps == nil {
+				f.rOps = map[trace.OpID]bool{}
+			}
+			f.rOps[r.ID] = true
+		}
+		if r.Kind != trace.KThrow {
+			continue
+		}
+		for _, t := range r.Taint {
+			if f.rOps[t] {
+				f.found, f.detail = true, tr.Str(r.Aux)+"@"+tr.Str(r.Site)
+				return
 			}
 		}
-		for i := range tr.Records {
-			r := &tr.Records[i]
-			if r.Kind != trace.KThrow {
-				continue
-			}
-			for _, t := range r.Taint {
-				if rOps[t] {
-					return Expected, "handled-exception", tr.Str(r.Aux) + "@" + tr.Str(r.Site)
-				}
-			}
-			for _, t := range r.Ctl {
-				if rOps[t] {
-					return Expected, "handled-exception", tr.Str(r.Aux) + "@" + tr.Str(r.Site)
-				}
+		for _, t := range r.Ctl {
+			if f.rOps[t] {
+				f.found, f.detail = true, tr.Str(r.Aux)+"@"+tr.Str(r.Site)
+				return
 			}
 		}
 	}
-	return Benign, "", ""
 }
 
 func failureKind(out *sim.Outcome, checkErr error) string {

@@ -47,6 +47,24 @@ type Config struct {
 
 	// Plan is the fault plan for this run (nil = fault-free).
 	Plan *FaultPlan
+
+	// TraceBatch bounds the record window size delivered to OnTraceWindow
+	// (0 = trace.DefaultBatch).
+	TraceBatch int
+
+	// OnTraceWindow, when set, receives each bounded window of freshly traced
+	// records while the run executes (under the scheduler baton), plus a
+	// final partial window before Run returns — letting consumers (index
+	// builders, coverage folds, stream encoders) overlap the simulation.
+	// With TraceDiscard the window slice is reused; consume it synchronously.
+	OnTraceWindow trace.WindowFn
+
+	// TraceDiscard streams records to OnTraceWindow without retaining them
+	// in the trace: Trace() then carries only symbol/stack tables, PIDs and
+	// run metadata, and a traced run's memory stays O(TraceBatch). Only
+	// meaningful for runs whose records are consumed through the window
+	// hook (fault-injection campaigns, trigger replays).
+	TraceDiscard bool
 }
 
 // DefaultMaxSteps bounds runs that hang.

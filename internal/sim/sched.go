@@ -196,6 +196,7 @@ func (c *Cluster) Run() *Outcome {
 		}
 	}
 
+	c.tracer.finish()
 	c.out.Steps = c.clock
 	c.out.Elapsed = time.Since(c.startWall)
 	if c.tracer.trace != nil {

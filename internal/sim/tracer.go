@@ -20,14 +20,17 @@ type opSpec struct {
 	Ctl    []trace.OpID
 }
 
-// tracer appends records to the run's trace, implementing the paper's
-// selective tracing policy (Section 3.2): happens-before operations, storage
-// operations and synchronization-loop reads are always recorded; plain heap
-// accesses only when they execute inside an RPC/message/event handler (or
-// its callees) — or everywhere in the exhaustive ablation mode.
+// tracer writes records through a trace.Writer sink, implementing the
+// paper's selective tracing policy (Section 3.2): happens-before operations,
+// storage operations and synchronization-loop reads are always recorded;
+// plain heap accesses only when they execute inside an RPC/message/event
+// handler (or its callees) — or everywhere in the exhaustive ablation mode.
+// The sink streams bounded windows to Config.OnTraceWindow subscribers and,
+// in TraceDiscard mode, skips retaining records in the trace entirely.
 type tracer struct {
 	c     *Cluster
 	trace *trace.Trace
+	sink  *trace.Writer
 	// sysPID is the interned "system" PID for scheduler-context records.
 	sysPID trace.Sym
 }
@@ -36,9 +39,24 @@ func newTracer(c *Cluster) *tracer {
 	tr := &tracer{c: c}
 	if c.cfg.Tracing != TraceOff {
 		tr.trace = trace.New()
+		tr.sink = trace.NewWriter(tr.trace, c.cfg.TraceBatch)
+		if c.cfg.OnTraceWindow != nil {
+			tr.sink.Subscribe(c.cfg.OnTraceWindow)
+		}
+		if c.cfg.TraceDiscard {
+			tr.sink.SetRetain(false)
+		}
 		tr.sysPID = tr.trace.Intern("system")
 	}
 	return tr
+}
+
+// finish flushes the final partial window to the sink's subscribers (called
+// once, at the end of Run).
+func (tr *tracer) finish() {
+	if tr.sink != nil {
+		tr.sink.Flush()
+	}
 }
 
 // sym interns s into the run's trace (NoSym when s is empty).
@@ -100,7 +118,7 @@ func (tr *tracer) emit(t *Thread, op opSpec) trace.OpID {
 		r.Ctl = t.ctlTaints()
 	}
 	tr.c.clock += tr.c.cfg.TraceTickCost
-	id := w.Append(r)
+	id := tr.sink.Append(r)
 	if op.Kind == trace.KThreadStart {
 		w.AddPID(t.node.PID)
 	}
@@ -113,7 +131,7 @@ func (tr *tracer) emitSystem(op opSpec) trace.OpID {
 		return trace.NoOp
 	}
 	w := tr.trace
-	return w.Append(trace.Record{
+	return tr.sink.Append(trace.Record{
 		TS:     tr.c.clock,
 		PID:    tr.sysPID,
 		Kind:   op.Kind,

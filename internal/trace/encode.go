@@ -11,13 +11,18 @@ import (
 	"os"
 )
 
-// FormatMagic is the 4-byte tag leading every trace in the versioned binary
-// format. It sits outside the gzip layer so Decode can sniff it: files that
-// start with a gzip header instead are legacy gob traces and still load.
-const FormatMagic = "FCT1"
+// FormatMagic is the 4-byte tag leading every trace in the current versioned
+// binary format (the chunked FCT2 layout — see fct2.go). It sits outside the
+// gzip layer so Decode can sniff it: files that start with the FCT1 magic or
+// a bare gzip header are earlier generations and still load.
+const FormatMagic = "FCT2"
 
 // FormatVersion is the trace-format generation the magic encodes.
-const FormatVersion = 1
+const FormatVersion = 2
+
+// FormatMagicV1 is the previous generation's magic (monolithic columns).
+// FCT1 files decode transparently; new traces are written as FCT2.
+const FormatMagicV1 = "FCT1"
 
 // The FCT1 layout, after the magic, is one gzip stream of:
 //
@@ -34,7 +39,7 @@ const FormatVersion = 1
 // field order. Strings are stored once in the symbol table; the column data
 // is small integers, which is where the size win over gob comes from.
 
-// Save writes the trace to path in the FCT1 format.
+// Save writes the trace to path in the current (FCT2) format.
 func (t *Trace) Save(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -47,23 +52,27 @@ func (t *Trace) Save(path string) error {
 	return nil
 }
 
-// Load reads a trace written by Save — either format generation.
+// Load reads a trace written by Save — any format generation. It is a thin
+// drain over Open; callers that want bounded memory use Open directly.
 func Load(path string) (*Trace, error) {
-	f, err := os.Open(path)
+	src, err := Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("trace: load: %w", err)
+		return nil, err
 	}
-	defer f.Close()
-	t, err := Decode(f)
-	if err != nil {
-		return nil, fmt.Errorf("trace: %s: %w", path, err)
-	}
-	return t, nil
+	return Drain(src)
 }
 
-// Encode writes the trace to w in the FCT1 binary format.
+// Encode writes the trace to w in the current binary format: the records are
+// replayed through an in-memory Source into the chunked FCT2 encoder.
 func (t *Trace) Encode(w io.Writer) error {
-	if _, err := io.WriteString(w, FormatMagic); err != nil {
+	return EncodeStream(SourceOf(t, 0), w)
+}
+
+// EncodeFCT1 writes the trace in the previous monolithic-column FCT1 layout
+// — kept for the format benchmarks and cross-codec compatibility tests; new
+// traces should use Encode.
+func (t *Trace) EncodeFCT1(w io.Writer) error {
+	if _, err := io.WriteString(w, FormatMagicV1); err != nil {
 		return err
 	}
 	zw := gzip.NewWriter(w)
@@ -95,55 +104,7 @@ func (t *Trace) Encode(w io.Writer) error {
 	rs := t.Records
 	e.uvarint(uint64(len(rs)))
 	prevTS := int64(0)
-	for i := range rs {
-		e.varint(rs[i].TS - prevTS)
-		prevTS = rs[i].TS
-	}
-	for i := range rs {
-		e.uvarint(uint64(rs[i].Machine))
-	}
-	for i := range rs {
-		e.uvarint(uint64(rs[i].PID))
-	}
-	for i := range rs {
-		e.uvarint(uint64(rs[i].Thread))
-	}
-	for i := range rs {
-		e.uvarint(uint64(rs[i].Frame))
-	}
-	for i := range rs {
-		e.uvarint(uint64(rs[i].Kind))
-	}
-	for i := range rs {
-		e.uvarint(uint64(rs[i].Site))
-	}
-	for i := range rs {
-		e.uvarint(uint64(rs[i].Stack))
-	}
-	for i := range rs {
-		e.uvarint(uint64(rs[i].Res))
-	}
-	for i := range rs {
-		e.uvarint(uint64(rs[i].Src))
-	}
-	for i := range rs {
-		e.uvarint(uint64(rs[i].Aux))
-	}
-	for i := range rs {
-		e.uvarint(uint64(rs[i].Target))
-	}
-	for i := range rs {
-		e.uvarint(uint64(rs[i].Flags))
-	}
-	for i := range rs {
-		e.uvarint(uint64(rs[i].Causor))
-	}
-	for i := range rs {
-		e.ops(rs[i].Taint)
-	}
-	for i := range rs {
-		e.ops(rs[i].Ctl)
-	}
+	encodeRecColumns(&e, rs, &prevTS)
 
 	if e.err != nil {
 		return e.err
@@ -154,25 +115,21 @@ func (t *Trace) Encode(w io.Writer) error {
 	return zw.Close()
 }
 
-// Decode reads a trace from r, sniffing the format: FCT1 binary, or the
-// legacy gzipped-gob layout written before the format was versioned.
+// Decode reads a trace from r, sniffing the format: chunked FCT2,
+// monolithic FCT1, or the legacy gzipped-gob layout written before the
+// format was versioned. It is a thin drain over NewSource.
 func Decode(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
-	head, err := br.Peek(4)
+	src, err := NewSource(r)
 	if err != nil {
-		return nil, fmt.Errorf("decode: %w", err)
+		return nil, err
 	}
-	if string(head) == FormatMagic {
-		if _, err := br.Discard(4); err != nil {
-			return nil, err
-		}
-		return decodeFCT1(br)
-	}
-	if head[0] == 0x1f && head[1] == 0x8b {
-		return decodeLegacyGob(br)
-	}
-	return nil, fmt.Errorf("decode: unrecognized trace format (magic %q)", head)
+	return Drain(src)
 }
+
+// fct1RecordCap bounds the declared record count of an FCT1 stream so a
+// corrupt header cannot force an unbounded allocation before any column
+// byte is read.
+const fct1RecordCap = 1 << 28
 
 func decodeFCT1(r io.Reader) (*Trace, error) {
 	zr, err := gzip.NewReader(r)
@@ -201,67 +158,52 @@ func decodeFCT1(r io.Reader) (*Trace, error) {
 	t.CrashedPID = d.str()
 	t.BaselineNanos = d.varint()
 
-	n := int(d.uvarint())
+	un := d.uvarint()
 	if d.err != nil {
-		return nil, fmt.Errorf("decode: header: %w", d.err)
+		return nil, fmt.Errorf("decode: header: %w", normalizeEOF(d.err))
+	}
+	if un > fct1RecordCap {
+		return nil, fmt.Errorf("decode: header: record count %d exceeds cap %d", un, fct1RecordCap)
+	}
+	n := int(un)
+	// Decode the timestamp column first into a growing slice: a corrupt
+	// count fails on the stream's actual length before the full-width
+	// Record allocation happens.
+	ts := make([]int64, 0, minInt(n, 1<<20))
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		prev += d.varint()
+		if d.err != nil {
+			return nil, fmt.Errorf("decode: records (timestamp %d of %d): %w", i, n, normalizeEOF(d.err))
+		}
+		ts = append(ts, prev)
 	}
 	rs := make([]Record, n)
-	prevTS := int64(0)
 	for i := range rs {
 		rs[i].ID = OpID(i + 1)
-		prevTS += d.varint()
-		rs[i].TS = prevTS
+		rs[i].TS = ts[i]
 	}
-	for i := range rs {
-		rs[i].Machine = Sym(d.uvarint())
-	}
-	for i := range rs {
-		rs[i].PID = Sym(d.uvarint())
-	}
-	for i := range rs {
-		rs[i].Thread = int(d.uvarint())
-	}
-	for i := range rs {
-		rs[i].Frame = OpID(d.uvarint())
-	}
-	for i := range rs {
-		rs[i].Kind = Kind(d.uvarint())
-	}
-	for i := range rs {
-		rs[i].Site = Sym(d.uvarint())
-	}
-	for i := range rs {
-		rs[i].Stack = StackID(d.uvarint())
-	}
-	for i := range rs {
-		rs[i].Res = Sym(d.uvarint())
-	}
-	for i := range rs {
-		rs[i].Src = OpID(d.uvarint())
-	}
-	for i := range rs {
-		rs[i].Aux = Sym(d.uvarint())
-	}
-	for i := range rs {
-		rs[i].Target = Sym(d.uvarint())
-	}
-	for i := range rs {
-		rs[i].Flags = uint32(d.uvarint())
-	}
-	for i := range rs {
-		rs[i].Causor = OpID(d.uvarint())
-	}
-	for i := range rs {
-		rs[i].Taint = d.ops()
-	}
-	for i := range rs {
-		rs[i].Ctl = d.ops()
-	}
-	if d.err != nil {
-		return nil, fmt.Errorf("decode: records: %w", d.err)
+	if err := decodeColumnsAfterTS(&d, rs); err != nil {
+		return nil, fmt.Errorf("decode: records: %w", normalizeEOF(err))
 	}
 	t.Records = rs
 	return t, nil
+}
+
+// normalizeEOF converts a bare EOF inside a structure into
+// io.ErrUnexpectedEOF: the stream ended mid-section, it did not finish.
+func normalizeEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // colEncoder writes varint columns, capturing the first error.

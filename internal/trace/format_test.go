@@ -2,6 +2,7 @@ package trace_test
 
 import (
 	"bytes"
+	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -101,7 +102,34 @@ func TestFormatsRoundTripEquivalent(t *testing.T) {
 		}
 		gotFCT, err := trace.Decode(bytes.NewReader(fct.Bytes()))
 		if err != nil {
+			t.Fatalf("seed %d: Decode(FCT2): %v", seed, err)
+		}
+
+		var fct1 bytes.Buffer
+		if err := tr.EncodeFCT1(&fct1); err != nil {
+			t.Fatalf("seed %d: EncodeFCT1: %v", seed, err)
+		}
+		if string(fct1.Bytes()[:4]) != trace.FormatMagicV1 {
+			t.Fatalf("seed %d: FCT1 stream does not start with %q", seed, trace.FormatMagicV1)
+		}
+		gotFCT1, err := trace.Decode(bytes.NewReader(fct1.Bytes()))
+		if err != nil {
 			t.Fatalf("seed %d: Decode(FCT1): %v", seed, err)
+		}
+
+		// The streaming Source path over the same bytes must agree with the
+		// monolithic Decode for every format generation.
+		gotSourced := map[string]*trace.Trace{}
+		for name, raw := range map[string][]byte{"fct2": fct.Bytes(), "fct1": fct1.Bytes()} {
+			src, err := trace.NewSource(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatalf("seed %d: NewSource(%s): %v", seed, name, err)
+			}
+			got, err := trace.Drain(src)
+			if err != nil {
+				t.Fatalf("seed %d: Drain(%s): %v", seed, name, err)
+			}
+			gotSourced[name+"-source"] = got
 		}
 
 		var gob bytes.Buffer
@@ -122,7 +150,11 @@ func TestFormatsRoundTripEquivalent(t *testing.T) {
 			t.Fatalf("seed %d: ReadJSON: %v", seed, err)
 		}
 
-		for name, got := range map[string]*trace.Trace{"fct1": gotFCT, "gob": gotGob} {
+		all := map[string]*trace.Trace{"fct2": gotFCT, "fct1": gotFCT1, "gob": gotGob}
+		for name, got := range gotSourced {
+			all[name] = got
+		}
+		for name, got := range all {
 			if g := flatten(got); !reflect.DeepEqual(g, want) {
 				t.Errorf("seed %d: %s round trip diverged", seed, name)
 			}
@@ -196,6 +228,59 @@ func TestLegacyJSONFixtureLoads(t *testing.T) {
 	want.BaselineNanos = 0 // the JSON dump carries records + crash metadata only
 	if !reflect.DeepEqual(flatten(got), want) {
 		t.Fatalf("legacy json fixture diverged:\ngot  %+v\nwant %+v", flatten(got), want)
+	}
+}
+
+// TestLegacyV1FixtureLoads pins the previous binary generation: a trace
+// written by the PR 3 FCT1 encoder must keep loading — through both the
+// monolithic loader and the streaming Open path.
+func TestLegacyV1FixtureLoads(t *testing.T) {
+	path := filepath.Join("testdata", "legacy_v1.fct1")
+	got, err := trace.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(flatten(got), legacyFixture()) {
+		t.Fatalf("legacy fct1 fixture diverged:\ngot  %+v\nwant %+v", flatten(got), legacyFixture())
+	}
+
+	src, err := trace.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := trace.Drain(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(flatten(streamed), legacyFixture()) {
+		t.Fatal("legacy fct1 fixture diverged on the Source path")
+	}
+}
+
+// TestLegacyGobFixtureStreamsViaOpen: the oldest format also serves the
+// Source interface (materialize-then-window fallback).
+func TestLegacyGobFixtureStreamsViaOpen(t *testing.T) {
+	src, err := trace.Open(filepath.Join("testdata", "legacy_v0.gob.gz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	var n int
+	for {
+		win, err := src.Next()
+		if err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		n += len(win)
+	}
+	want := legacyFixture()
+	if n != len(want.Records) {
+		t.Fatalf("streamed %d records, want %d", n, len(want.Records))
+	}
+	if !reflect.DeepEqual(flatten(src.Trace()), want) {
+		t.Fatal("legacy gob fixture diverged on the Source path")
 	}
 }
 

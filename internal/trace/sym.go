@@ -41,6 +41,22 @@ func (st *SymTab) Intern(s string) Sym {
 	return y
 }
 
+// grow pre-sizes the table for n total symbols (a decoder size hint).
+func (st *SymTab) grow(n int) {
+	if n <= len(st.strs) {
+		return
+	}
+	st.init()
+	if st.idx == nil || len(st.idx) > 1 {
+		return // only worth it before real inserts
+	}
+	strs := make([]string, len(st.strs), n)
+	copy(strs, st.strs)
+	st.strs = strs
+	st.idx = make(map[string]Sym, n)
+	st.idx[""] = NoSym
+}
+
 // Lookup returns the Sym for s without interning. The second result is false
 // when s has never been interned — callers translating external strings
 // (report sites, PIDs from another trace) use it to mean "matches nothing
@@ -101,6 +117,18 @@ func (st *StackTab) init() {
 		st.nodes = append(st.nodes, stackNode{})
 		st.idx = make(map[stackNode]StackID, 64)
 	}
+}
+
+// grow pre-sizes the table for n total nodes (a decoder size hint).
+func (st *StackTab) grow(n int) {
+	if n <= len(st.nodes) || (st.idx != nil && len(st.idx) > 0) {
+		return
+	}
+	st.init()
+	nodes := make([]stackNode, len(st.nodes), n)
+	copy(nodes, st.nodes)
+	st.nodes = nodes
+	st.idx = make(map[stackNode]StackID, n)
 }
 
 // Push returns the stack formed by pushing frame onto parent, interning it if

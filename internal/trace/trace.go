@@ -184,9 +184,11 @@ func (t *Trace) AddPID(pid string) {
 const numKinds = int(KRestart) + 1
 
 // Index holds the derived lookups shared by the happens-before analysis and
-// both detectors. Build it once per trace, after the run: the per-Sym tables
-// are sized to the symbol table at build time, so interning after BuildIndex
-// invalidates the index.
+// both detectors. It is built incrementally: NewIndex starts an empty index,
+// Extend folds in each window of records as it arrives (possibly while the
+// trace is still being produced), and Finish sizes the per-Sym tables to the
+// final symbol table. BuildIndex is the one-shot wrapper. Interning after
+// Finish invalidates the index.
 type Index struct {
 	T *Trace
 
@@ -216,26 +218,54 @@ type Index struct {
 	ThreadStart map[int]OpID
 }
 
-// BuildIndex scans the trace once and produces the Index.
-func BuildIndex(t *Trace) *Index {
-	ix := &Index{
+// NewIndex starts an empty incremental index over t. The per-Sym tables grow
+// lazily as Extend encounters higher Syms — Extend never reads the symbol
+// table, so it is safe to run while the single interning writer is still
+// appending (the index builder overlapping a live run).
+func NewIndex(t *Trace) *Index {
+	return &Index{
 		T:           t,
 		ByKind:      make([][]OpID, numKinds),
-		ByRes:       make([][]OpID, t.NumSyms()),
-		BySite:      make([][]OpID, t.NumSyms()),
 		Causees:     make(map[OpID][]OpID),
 		FrameOps:    make(map[OpID][]OpID),
 		ThreadStart: make(map[int]OpID),
 	}
-	for i := range t.Records {
-		r := &t.Records[i]
+}
+
+// growSymTable extends a dense per-Sym table to at least n slots, doubling to
+// amortize repeated growth during incremental extension.
+func growSymTable(s [][]OpID, n int) [][]OpID {
+	if n <= len(s) {
+		return s
+	}
+	if n < 2*len(s) {
+		n = 2 * len(s)
+	}
+	if n <= cap(s) {
+		return s[:n]
+	}
+	out := make([][]OpID, n)
+	copy(out, s)
+	return out
+}
+
+// Extend folds one window of records (in trace order) into the index.
+func (ix *Index) Extend(recs []Record) {
+	for i := range recs {
+		r := &recs[i]
 		ix.ByKind[r.Kind] = append(ix.ByKind[r.Kind], r.ID)
 		if r.Res != NoSym {
+			if int(r.Res) >= len(ix.ByRes) {
+				ix.ByRes = growSymTable(ix.ByRes, int(r.Res)+1)
+			}
 			ix.ByRes[r.Res] = append(ix.ByRes[r.Res], r.ID)
 		}
 		// Fault bookkeeping records reuse the trigger's site; they are not
 		// operations the injector counts, so they stay out of BySite.
 		if r.Site != NoSym && r.Kind != KCrash && r.Kind != KRestart {
+			if int(r.Site) >= len(ix.BySite) {
+				ix.BySite = growSymTable(ix.BySite, int(r.Site)+1)
+			}
 			ix.BySite[r.Site] = append(ix.BySite[r.Site], r.ID)
 		}
 		if r.Kind.IsActivation() || r.Kind == KKVNotify {
@@ -250,6 +280,28 @@ func BuildIndex(t *Trace) *Index {
 			ix.FrameOps[r.Frame] = append(ix.FrameOps[r.Frame], r.ID)
 		}
 	}
+}
+
+// Finish sizes the per-Sym tables to the (now final) symbol table, so every
+// in-range Sym probes without a bounds branch failing. Call it after the
+// last Extend, once interning has stopped.
+func (ix *Index) Finish() {
+	n := ix.T.NumSyms()
+	if len(ix.ByRes) < n {
+		ix.ByRes = growSymTable(ix.ByRes, n)[:n]
+	}
+	if len(ix.BySite) < n {
+		ix.BySite = growSymTable(ix.BySite, n)[:n]
+	}
+}
+
+// BuildIndex scans a materialized trace once and produces the Index.
+func BuildIndex(t *Trace) *Index {
+	ix := NewIndex(t)
+	ix.ByRes = make([][]OpID, 0, t.NumSyms())
+	ix.BySite = make([][]OpID, 0, t.NumSyms())
+	ix.Extend(t.Records)
+	ix.Finish()
 	return ix
 }
 
