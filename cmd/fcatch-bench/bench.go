@@ -33,6 +33,9 @@ type benchEntry struct {
 	// PeakHeapBytes is the HeapAlloc high-water mark above the pre-run
 	// baseline for pipeline-memory entries (0 for timing-only entries).
 	PeakHeapBytes int64 `json:"peak_heap_bytes,omitempty"`
+	// RunsPerSec is injection-run throughput for campaign entries (0 for
+	// other entries).
+	RunsPerSec float64 `json:"runs_per_sec,omitempty"`
 }
 
 // benchReport is the envelope written by `fcatch-bench -json out.json`.
@@ -81,6 +84,7 @@ func runBenchSuite(seed int64, smoke bool) []benchEntry {
 				}
 			}
 		})
+		out = append(out, campaignThroughputEntries(seed, []string{"TOY"}, []int{1})...)
 		out = append(out, traceFormatEntries(seed, "TOY")...)
 		out = append(out, pipelineMemoryEntries(seed, true)...)
 		return out
@@ -154,9 +158,62 @@ func runBenchSuite(seed int64, smoke bool) []benchEntry {
 		}
 	})
 
+	var names []string
+	for _, w := range fcatch.Workloads() {
+		names = append(names, w.Name())
+	}
+	out = append(out, campaignThroughputEntries(seed, names, []int{1, 0})...)
+
 	out = append(out, traceFormatEntries(seed, "MR1")...)
 	out = append(out, pipelineMemoryEntries(seed, false)...)
 
+	return out
+}
+
+// campaignThroughputBudget is the per-measurement run budget for the
+// campaign throughput entries; the coverage strategy executes at most this
+// many injection runs per campaign (fewer when the fault space is smaller).
+const campaignThroughputBudget = 40
+
+// campaignThroughputEntries measures end-to-end campaign engine throughput —
+// executed injection runs per second — per workload at the given parallelism
+// settings (1 = sequential, 0 = GOMAXPROCS). This is the engine-level number
+// the simulator's scheduler and allocation work moves: each injection run is
+// one full simulated execution, so runs/sec tracks ns-per-simulated-run.
+func campaignThroughputEntries(seed int64, workloads []string, pars []int) []benchEntry {
+	var out []benchEntry
+	for _, name := range workloads {
+		w := fcatch.MustWorkload(name)
+		for _, par := range pars {
+			cfg := fcatch.CampaignConfig{
+				Strategy: fcatch.StrategyCoverage, Seed: seed,
+				Budget: campaignThroughputBudget, Parallelism: par,
+			}
+			// One warm-up campaign pins the deterministic run count used to
+			// convert ns/op into runs/sec.
+			pre, err := fcatch.Campaign(w, cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fcatch-bench: campaign %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			entryName := fmt.Sprintf("campaign/%s/parallelism=%d/runs=%d", name, par, pre.Runs)
+			if par == 0 {
+				entryName = fmt.Sprintf("campaign/%s/parallelism=max(%d)/runs=%d", name, runtime.GOMAXPROCS(0), pre.Runs)
+			}
+			fmt.Fprintf(os.Stderr, "fcatch-bench: benchmarking %s...\n", entryName)
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := fcatch.Campaign(w, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			e := toEntry(entryName, r)
+			e.RunsPerSec = float64(pre.Runs) * 1e9 / float64(r.NsPerOp())
+			out = append(out, e)
+		}
+	}
 	return out
 }
 

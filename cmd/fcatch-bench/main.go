@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"fcatch"
 	"fcatch/internal/core"
@@ -38,7 +40,13 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "pipeline worker bound (0 = GOMAXPROCS, 1 = sequential)")
 	jsonOut := flag.String("json", "", "run the perf benchmark suite and write JSON results to this file")
 	smoke := flag.Bool("smoke", false, "with -json: run only the cheap TOY-scale entries (CI smoke test)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" || *memprofile != "" {
+		defer profileTo(*cpuprofile, *memprofile)()
+	}
 
 	if *jsonOut != "" {
 		if err := writeBenchJSON(*jsonOut, *seed, *smoke); err != nil {
@@ -125,5 +133,43 @@ func main() {
 	}
 	if !*all && *table == 0 && !*sensitivity && !*ablation && !*pruning && !*randinject && !*campaignCmp && !*triggering {
 		flag.Usage()
+	}
+}
+
+// profileTo starts CPU profiling (when cpu is non-empty) and returns the
+// function that stops it and writes the heap profile (when mem is non-empty).
+// Profiles are flushed on normal termination; error exits skip them.
+func profileTo(cpu, mem string) func() {
+	fatal := func(err error) {
+		fmt.Fprintln(os.Stderr, "fcatch-bench:", err)
+		os.Exit(1)
+	}
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		cpuF = f
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // settle the final live set before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}
 	}
 }

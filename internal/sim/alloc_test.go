@@ -1,0 +1,43 @@
+package sim_test
+
+import (
+	"runtime"
+	"runtime/debug"
+	"testing"
+
+	"fcatch/internal/sim"
+)
+
+// TestSteadyStateStepZeroAllocs pins the scheduler's allocation contract: once
+// a cluster is in steady state, one scheduler step (yield → schedule → resume
+// on the switch-free fast path) allocates nothing. A cluster is single-use, so
+// the test can't loop one step under testing.AllocsPerRun; instead it runs two
+// clusters differing only in yield count and attributes the malloc delta to
+// the extra steps.
+func TestSteadyStateStepZeroAllocs(t *testing.T) {
+	mallocsFor := func(yields int) uint64 {
+		c := sim.NewCluster(sim.Config{Seed: 1, MaxSteps: int64(yields) + 1_000})
+		c.StartProcess("node", "m0", func(ctx *sim.Context) {
+			for i := 0; i < yields; i++ {
+				ctx.Yield()
+			}
+		})
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		c.Run()
+		runtime.ReadMemStats(&after)
+		return after.Mallocs - before.Mallocs
+	}
+
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	mallocsFor(100) // warm the runtime (lazily grown internals)
+	small := mallocsFor(1_000)
+	large := mallocsFor(21_000)
+
+	extra := int64(large) - int64(small)
+	const steps = 20_000
+	if perStep := float64(extra) / steps; perStep > 0.01 {
+		t.Fatalf("steady-state stepping allocates: %d extra mallocs over %d extra steps (%.4f/step), want 0",
+			extra, steps, perStep)
+	}
+}

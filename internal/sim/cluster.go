@@ -3,7 +3,6 @@ package sim
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 	"time"
 
 	"fcatch/internal/trace"
@@ -80,28 +79,59 @@ type Cluster struct {
 	nextTID int
 	nextSeq int64 // deterministic id source for messages/calls/events
 
-	nodes     map[string]*Node // PID -> process
-	pidOrder  []string
-	services  map[string]string // role -> live PID
-	incarn    map[string]int    // role -> next incarnation number
-	threads   []*Thread
-	timers    timerHeap
-	yielded   chan *Thread
-	running   bool
-	curThread *Thread
+	nodes    map[string]*Node // PID -> process (API-boundary lookups)
+	nodeList []*Node          // every process in start order (internal iteration)
+	threads  []*Thread
+	timers   timerHeap
+	running  bool
+
+	// Direct-handoff scheduler state: the baton moves thread-to-thread, with
+	// mainSem parking the Run goroutine while the workload executes.
+	mainSem      chan struct{}
+	curThread    *Thread
+	runScratch   []*Thread // reusable runnable-scan buffer
+	liveNonDaemon int      // non-daemon threads still alive (workloadDone is O(1))
+	killPendingN  int      // threads awaiting the kill reaper
+	fnTimers      int      // armed scheduler-callback timers
+	deadThreads   int      // finished threads still on the scan list
+	reaping       bool     // inside the kill-reap scan (mirrors the old processKills loop)
+	tearingDown   bool     // Run teardown: batons return straight to main
+
+	// Role identities are interned to dense indices at first boot, so service
+	// resolution, incarnation counting and restart bookkeeping index slices
+	// instead of hashing through role-keyed maps.
+	roleIdx     map[string]int
+	roleNames   []string
+	roleService []*Node // roleID -> live incarnation (nil = none)
+	roleIncarn  []int   // roleID -> next incarnation number
+	roleBootFn  []func(*Context)
+	roleBootMac []string
+
+	// Site identities: every static op site (file:line, pseudo-sites, "plan")
+	// is interned once into a dense cluster-local table. Hot paths — trigger
+	// matching, occurrence counting, hang bookkeeping, the tracer — carry and
+	// compare SiteIDs; strings are rendered only at the boundary.
+	siteIdx    map[string]SiteID
+	siteStrs   []string
+	siteSyms   []trace.Sym // SiteID -> trace Sym (0 = not yet interned there)
+	siteCounts []int32     // SiteID -> occurrences, for trigger points
+	siteCache  map[uintptr]SiteID // PC -> SiteID (NoSite = substrate frame)
+
+	// Pre-interned fixed sites (pseudo-sites that are not source positions).
+	sitePlan          SiteID // "plan"
+	siteUnknown       SiteID // "unknown" (no app frame within the PC window)
+	siteRPCClientWait SiteID
+	siteRPCReplySig   SiteID
+	siteRPCReplySend  SiteID
 
 	tracer      *tracer
 	out         Outcome
 	facts       map[string]any
-	bootFns     map[string]func(*Context) // role -> main function (for restarts)
-	bootMachine map[string]string         // role -> machine
 
 	crashHooks     []func(pid string)
 	convictSubs    map[string][]string // watched role -> subscriber PIDs (verb "convict")
 	recoveryLabels map[string]bool     // handler labels registered as recovery roots
 	pendingPlan    *FaultPlan
-	siteCounts     map[string]int    // occurrences per site, for trigger points
-	siteCache      map[uintptr]string // PC -> rendered site ("" = substrate frame)
 	startWall      time.Time
 }
 
@@ -114,20 +144,70 @@ func NewCluster(cfg Config) *Cluster {
 		cfg:            cfg,
 		rng:            rand.New(rand.NewSource(cfg.Seed)),
 		nodes:          make(map[string]*Node),
-		services:       make(map[string]string),
-		incarn:         make(map[string]int),
-		yielded:        make(chan *Thread),
+		mainSem:        make(chan struct{}, 1),
+		roleIdx:        make(map[string]int),
+		siteIdx:        make(map[string]SiteID, 64),
+		siteStrs:       []string{""},
+		siteSyms:       []trace.Sym{0},
+		siteCounts:     []int32{0},
+		siteCache:      make(map[uintptr]SiteID, 64),
 		facts:          make(map[string]any),
-		bootFns:        make(map[string]func(*Context)),
-		bootMachine:    make(map[string]string),
 		convictSubs:    make(map[string][]string),
 		recoveryLabels: make(map[string]bool),
-		siteCounts:     make(map[string]int),
-		siteCache:      make(map[uintptr]string),
 		pendingPlan:    cfg.Plan,
 	}
+	c.siteIdx[""] = NoSite
+	c.sitePlan = c.internSite("plan")
+	c.siteUnknown = c.internSite("unknown")
+	c.siteRPCClientWait = c.internSite(SiteRPCClientWait)
+	c.siteRPCReplySig = c.internSite(SiteRPCReplySig)
+	c.siteRPCReplySend = c.internSite(SiteRPCReplySend)
 	c.tracer = newTracer(c)
+	if p := c.pendingPlan; p != nil {
+		for i := range p.Triggers {
+			p.Triggers[i].siteID = c.internSite(p.Triggers[i].Site)
+		}
+	}
 	return c
+}
+
+// internSite interns a site string into the cluster's dense site table.
+func (c *Cluster) internSite(s string) SiteID {
+	if s == "" {
+		return NoSite
+	}
+	if id, ok := c.siteIdx[s]; ok {
+		return id
+	}
+	id := SiteID(len(c.siteStrs))
+	c.siteStrs = append(c.siteStrs, s)
+	c.siteSyms = append(c.siteSyms, 0)
+	c.siteCounts = append(c.siteCounts, 0)
+	c.siteIdx[s] = id
+	return id
+}
+
+// siteStr renders a SiteID back to its string form (boundary output only).
+func (c *Cluster) siteStr(id SiteID) string {
+	if int(id) < len(c.siteStrs) {
+		return c.siteStrs[id]
+	}
+	return ""
+}
+
+// roleID interns a role name to its dense index.
+func (c *Cluster) roleID(role string) int {
+	if id, ok := c.roleIdx[role]; ok {
+		return id
+	}
+	id := len(c.roleNames)
+	c.roleIdx[role] = id
+	c.roleNames = append(c.roleNames, role)
+	c.roleService = append(c.roleService, nil)
+	c.roleIncarn = append(c.roleIncarn, 0)
+	c.roleBootFn = append(c.roleBootFn, nil)
+	c.roleBootMac = append(c.roleBootMac, "")
+	return id
 }
 
 // Config returns the cluster's configuration.
@@ -180,27 +260,43 @@ func (c *Cluster) MarkRecoveryHandler(label string) {
 func (c *Cluster) Node(pid string) *Node { return c.nodes[pid] }
 
 // PIDs returns all process IDs in start order.
-func (c *Cluster) PIDs() []string { return append([]string(nil), c.pidOrder...) }
+func (c *Cluster) PIDs() []string {
+	out := make([]string, len(c.nodeList))
+	for i, n := range c.nodeList {
+		out[i] = n.PID
+	}
+	return out
+}
 
 // Lookup resolves a role to its current live process PID ("" if none).
-func (c *Cluster) Lookup(role string) string { return c.services[role] }
+func (c *Cluster) Lookup(role string) string {
+	if id, ok := c.roleIdx[role]; ok {
+		if n := c.roleService[id]; n != nil {
+			return n.PID
+		}
+	}
+	return ""
+}
 
 // StartProcess boots a new process of the given role on a machine, running
 // main as its root thread. It returns the PID ("role#N"). The boot function
 // is remembered so fault plans can restart the role.
 func (c *Cluster) StartProcess(role, machine string, main func(*Context)) string {
-	c.bootFns[role] = main
-	c.bootMachine[role] = machine
-	return c.startIncarnation(role, machine, main, trace.NoOp)
+	id := c.roleID(role)
+	c.roleBootFn[id] = main
+	c.roleBootMac[id] = machine
+	return c.startIncarnation(id, machine, main, trace.NoOp)
 }
 
-func (c *Cluster) startIncarnation(role, machine string, main func(*Context), causor trace.OpID) string {
-	c.incarn[role]++
-	pid := fmt.Sprintf("%s#%d", role, c.incarn[role])
+func (c *Cluster) startIncarnation(roleID int, machine string, main func(*Context), causor trace.OpID) string {
+	c.roleIncarn[roleID]++
+	role := c.roleNames[roleID]
+	pid := fmt.Sprintf("%s#%d", role, c.roleIncarn[roleID])
 	n := newNode(c, pid, role, machine)
+	n.roleID = roleID
 	c.nodes[pid] = n
-	c.pidOrder = append(c.pidOrder, pid)
-	c.services[role] = pid
+	c.nodeList = append(c.nodeList, n)
+	c.roleService[roleID] = n
 	n.startSystemThreads()
 	c.spawnThread(n, "main", main, causor, false, false)
 	return pid
@@ -209,11 +305,11 @@ func (c *Cluster) startIncarnation(role, machine string, main func(*Context), ca
 // RestartRole relaunches a crashed role as a fresh process (the recovery node
 // of Section 4.3.1). Used by fault plans and by app-level supervisors.
 func (c *Cluster) RestartRole(role string, causor trace.OpID) string {
-	main, ok := c.bootFns[role]
-	if !ok {
+	id, ok := c.roleIdx[role]
+	if !ok || c.roleBootFn[id] == nil {
 		panic(fmt.Sprintf("sim: restart of unknown role %q", role))
 	}
-	pid := c.startIncarnation(role, c.bootMachine[role], main, causor)
+	pid := c.startIncarnation(id, c.roleBootMac[id], c.roleBootFn[id], causor)
 	c.tracer.emitSystem(opSpec{Kind: trace.KRestart, Aux: pid})
 	return pid
 }
@@ -264,16 +360,4 @@ func (o *Outcome) FailureKind() string {
 		return "check"
 	}
 	return "ok"
-}
-
-// sortedRunnable returns runnable threads ordered by id (determinism).
-func (c *Cluster) sortedRunnable() []*Thread {
-	var out []*Thread
-	for _, t := range c.threads {
-		if t.state == tsRunnable {
-			out = append(out, t)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
-	return out
 }

@@ -17,7 +17,8 @@ type Cond struct {
 	node    *Node
 	id      int64
 	name    string
-	res     string // cached Res(), rendered once at creation
+	res     string    // cached Res(), rendered once at creation
+	resSym  trace.Sym // trace symbol for res, interned at first traced emit
 	set     bool
 	payload Value
 	err     error
@@ -47,16 +48,17 @@ func (cv *Cond) Signal(ctx *Context, vs ...Value) {
 	if len(vs) > 0 {
 		payload = vs[0].Data
 	}
-	cv.signalInternal(ctx, Derive(payload, vs...), nil, "")
+	cv.signalInternal(ctx, Derive(payload, vs...), nil, NoSite)
 }
 
-func (cv *Cond) signalInternal(ctx *Context, v Value, err error, site string) {
+func (cv *Cond) signalInternal(ctx *Context, v Value, err error, site SiteID) {
 	ctx.Do(OpReq{
-		Kind:  trace.KSignal,
-		Res:   cv.Res(),
-		Aux:   cv.name,
-		Taint: v.taint,
-		Site:  site,
+		Kind:   trace.KSignal,
+		Res:    cv.res,
+		ResSym: &cv.resSym,
+		Aux:    cv.name,
+		Taint:  v.taint,
+		Site:   site,
 		Apply: func() {
 			cv.set = true
 			cv.payload = v
@@ -84,7 +86,7 @@ func (cv *Cond) failInternal(err error) {
 // time; it has no timeout, so a lost signal blocks the thread forever — the
 // fault-intolerant case of Section 4.2.2.
 func (cv *Cond) Wait(ctx *Context) (Value, error) {
-	return cv.waitAt(ctx, 0, "")
+	return cv.waitAt(ctx, 0, NoSite)
 }
 
 // WaitTimeout blocks until the latch is signalled or ticks elapse. The wait
@@ -94,7 +96,7 @@ func (cv *Cond) WaitTimeout(ctx *Context, ticks int64) (Value, error) {
 	if ticks <= 0 {
 		panic("sim: WaitTimeout needs a positive timeout")
 	}
-	return cv.waitAt(ctx, ticks, "")
+	return cv.waitAt(ctx, ticks, NoSite)
 }
 
 var errWaitTimeout = fmt.Errorf("wait: timed out")
@@ -102,15 +104,15 @@ var errWaitTimeout = fmt.Errorf("wait: timed out")
 // ErrWaitTimeout reports whether err is a wait-timeout.
 func ErrWaitTimeout(err error) bool { return err == errWaitTimeout }
 
-func (cv *Cond) waitAt(ctx *Context, timeout int64, site string) (Value, error) {
+func (cv *Cond) waitAt(ctx *Context, timeout int64, site SiteID) (Value, error) {
 	var flags uint32
 	if timeout > 0 {
 		flags = trace.FlagTimedWait
 	}
-	if site == "" {
+	if site == NoSite {
 		site = ctx.site()
 	}
-	ctx.Do(OpReq{Kind: trace.KWait, Res: cv.Res(), Aux: cv.name, Flags: flags, Site: site})
+	ctx.Do(OpReq{Kind: trace.KWait, Res: cv.res, ResSym: &cv.resSym, Aux: cv.name, Flags: flags, Site: site})
 	if cv.set {
 		return cv.payload, cv.err
 	}

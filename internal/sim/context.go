@@ -47,8 +47,11 @@ func (ctx *Context) Guard(v Value) bool {
 		ctx.t.pushScope(ctx.c, ctlFrame{label: "fn"})
 	}
 	top := &ctx.t.scopes[len(ctx.t.scopes)-1]
-	top.ctl = mergeTaints(top.ctl, v.taint)
-	ctx.t.ctlHist = mergeTaints(ctx.t.ctlHist, v.taint)
+	if len(v.taint) > 0 {
+		top.ctl = mergeTaints(top.ctl, v.taint)
+		ctx.t.ctlHist = mergeTaints(ctx.t.ctlHist, v.taint)
+		ctx.t.ctlDirty = true
+	}
 	return v.Bool()
 }
 
@@ -63,7 +66,7 @@ func (ctx *Context) Sleep(ticks int64) {
 	}
 	ctx.t.blockToken++
 	ctx.c.addTimer(ctx.c.clock+ticks, ctx.t, nil)
-	ctx.t.block(ctx.c, "sleep", "")
+	ctx.t.block(ctx.c, "sleep", NoSite)
 }
 
 // Now reads the system clock; the returned value is tainted by a time-read
@@ -72,17 +75,17 @@ func (ctx *Context) Now() Value {
 	id := ctx.c.tracer.emit(ctx.t, opSpec{Kind: trace.KTimeRead, Site: ctx.site()})
 	v := V(ctx.c.clock)
 	if id != trace.NoOp {
-		v = v.WithTaint(id)
+		v = v.withTaint1(id)
 	}
 	return v
 }
 
 // site computes the current static op ID if this run needs sites.
-func (ctx *Context) site() string {
+func (ctx *Context) site() SiteID {
 	if !ctx.c.needSites() {
-		return ""
+		return NoSite
 	}
-	return callsite(ctx.c.siteCache)
+	return ctx.c.callsite()
 }
 
 // OpReq describes one operation for the generic op pipeline: trigger check →
@@ -91,13 +94,14 @@ func (ctx *Context) site() string {
 type OpReq struct {
 	Kind   trace.Kind
 	Res    string
+	ResSym *trace.Sym // optional per-resource Sym cache slot (see opSpec)
 	Aux    string
 	Target string
 	Src    trace.OpID
 	Causor trace.OpID
 	Flags  uint32
 	Taint  []trace.OpID
-	Site   string // optional override; computed if empty
+	Site   SiteID // optional override; computed if NoSite
 	IsSend bool
 
 	// Apply performs the op's semantic effect (may be nil for pure reads).
@@ -117,7 +121,7 @@ type OpReq struct {
 // which drop it was.
 func (ctx *Context) Do(req OpReq) (id trace.OpID, dropAction TriggerAction, dropped bool) {
 	site := req.Site
-	if site == "" {
+	if site == NoSite {
 		site = ctx.site()
 	}
 	dropAction, dropped = ctx.c.checkTrigger(site, Before, req.IsSend)
@@ -128,9 +132,9 @@ func (ctx *Context) Do(req OpReq) (id trace.OpID, dropAction TriggerAction, drop
 		req.Flags |= req.FlagsAfter()
 	}
 	op := opSpec{
-		Kind: req.Kind, Res: req.Res, Aux: req.Aux, Target: req.Target,
-		Src: req.Src, Causor: req.Causor, Flags: req.Flags, Taint: req.Taint,
-		Site: site,
+		Kind: req.Kind, Res: req.Res, ResSym: req.ResSym, Aux: req.Aux,
+		Target: req.Target, Src: req.Src, Causor: req.Causor,
+		Flags: req.Flags, Taint: req.Taint, Site: site,
 	}
 	if dropped {
 		op.Flags |= trace.FlagDropped
@@ -215,7 +219,7 @@ func (ctx *Context) runHandlerFrame(label string, causor trace.OpID, flags uint3
 		if r := recover(); r != nil {
 			if p, ok := r.(appPanic); ok {
 				ctx.c.out.UncaughtExceptions = append(ctx.c.out.UncaughtExceptions,
-					fmt.Sprintf("%s in %s handler %s", p.String(), t.node.PID, label))
+					fmt.Sprintf("%s@%s in %s handler %s", p.kind, ctx.c.siteStr(p.site), t.node.PID, label))
 			} else {
 				panic(r)
 			}
@@ -282,8 +286,8 @@ func (ctx *Context) Try(fn func()) (err *AppError) {
 			}
 			ctx.Do(OpReq{Kind: trace.KCatch, Aux: p.kind, Taint: p.taint, Site: p.site})
 			ctx.c.out.HandledExceptions = append(ctx.c.out.HandledExceptions,
-				fmt.Sprintf("%s in %s", p.String(), ctx.PID()))
-			err = &AppError{Kind: p.kind, Site: p.site}
+				fmt.Sprintf("%s@%s in %s", p.kind, ctx.c.siteStr(p.site), ctx.PID()))
+			err = &AppError{Kind: p.kind, Site: ctx.c.siteStr(p.site)}
 		}
 	}()
 	fn()

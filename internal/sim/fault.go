@@ -67,6 +67,9 @@ type TriggerPoint struct {
 	// invoked by the crash node) while the fault must hit the crash node.
 	CrashTarget string
 	fired       bool
+	// siteID is Site interned into the cluster's site table (set by
+	// NewCluster), so the per-op match compares dense ids, not strings.
+	siteID SiteID
 }
 
 // FaultPlan describes every fault injected into one run.
@@ -103,20 +106,19 @@ func NewObservationPlan(target string, step int64, restartRoles map[string]int64
 // checkTrigger is called by the op layer around every operation's effect.
 // It returns the action to apply to the op itself for drop actions; crash
 // actions are applied here directly.
-func (c *Cluster) checkTrigger(site string, when TriggerWhen, isSend bool) (drop TriggerAction, dropped bool) {
+func (c *Cluster) checkTrigger(site SiteID, when TriggerWhen, isSend bool) (drop TriggerAction, dropped bool) {
 	p := c.pendingPlan
-	if p == nil || len(p.Triggers) == 0 || site == "" {
+	if p == nil || len(p.Triggers) == 0 || site == NoSite {
 		return 0, false
 	}
 	// Occurrence accounting happens once per op, on the Before edge.
-	var count int
 	if when == Before {
 		c.siteCounts[site]++
 	}
-	count = c.siteCounts[site]
+	count := int(c.siteCounts[site])
 	for i := range p.Triggers {
 		tp := &p.Triggers[i]
-		if tp.fired || tp.Site != site || tp.When != when {
+		if tp.fired || tp.siteID != site || tp.When != when {
 			continue
 		}
 		occ := tp.Occurrence

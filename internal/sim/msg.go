@@ -35,21 +35,32 @@ func (ctx *Context) Send(target, verb string, payload Value, opts ...SendOpt) er
 		flags |= trace.FlagDroppable
 	}
 
-	dst := ctx.c.nodes[pid]
+	c := ctx.c
+	dst := c.nodes[pid]
 	deliverable := dst != nil && !dst.crashed
 
-	var sent bool
-	id, dropAction, dropped := ctx.Do(OpReq{
+	// Inlined Do pipeline (sends are hot; the effect is a plain flag, so no
+	// closure is needed): trigger check → effect → record → trigger check →
+	// scheduler step, with the same drop handling Do applies to sends.
+	site := ctx.site()
+	dropAction, dropped := c.checkTrigger(site, Before, true)
+	sent := !dropped && deliverable
+	emitFlags := flags
+	if dropped {
+		emitFlags |= trace.FlagDropped
+	}
+	id := c.tracer.emit(ctx.t, opSpec{
 		Kind:   trace.KMsgSend,
 		Aux:    verb,
 		Target: pid,
 		Taint:  payload.taint,
-		Flags:  flags,
-		IsSend: true,
-		Apply: func() {
-			sent = deliverable
-		},
+		Flags:  emitFlags,
+		Site:   site,
 	})
+	if a, d := c.checkTrigger(site, After, true); d && !dropped {
+		dropAction, dropped = a, d
+	}
+	ctx.t.yieldStep(c)
 	if dropped {
 		switch dropAction {
 		case ActDropKernel:
@@ -79,5 +90,10 @@ func (c *Cluster) resolve(target string) string {
 			return target
 		}
 	}
-	return c.services[target]
+	if id, ok := c.roleIdx[target]; ok {
+		if n := c.roleService[id]; n != nil {
+			return n.PID
+		}
+	}
+	return ""
 }

@@ -14,6 +14,7 @@ type Node struct {
 	PID     string
 	Role    string
 	Machine string
+	roleID  int // dense index into the cluster's role tables
 
 	// pidSym/machineSym are PID and Machine interned into the run's trace
 	// once at node creation, so the tracer stamps them on every record
@@ -27,9 +28,9 @@ type Node struct {
 	nextObj int64
 	objects map[int64]*Object
 
-	rpcHandlers   map[string]func(*Context, []Value) Value
-	msgHandlers   map[string]func(*Context, Message)
-	eventHandlers map[string]func(*Context, Value)
+	rpcHandlers   map[string]rpcHandler
+	msgHandlers   map[string]msgHandler
+	eventHandlers map[string]eventHandler
 
 	msgQ         *dispatchQueue
 	eventQ       *dispatchQueue
@@ -56,14 +57,31 @@ type pendingRPC struct {
 	callID    int64
 }
 
+// Handler registrations carry their frame/thread labels precomputed, so
+// dispatching an item never concatenates strings.
+type rpcHandler struct {
+	fn   func(*Context, []Value) Value
+	name string // "rpc:<method>" — handler thread name and scope label
+}
+
+type msgHandler struct {
+	fn    func(*Context, Message)
+	label string // "msg:<verb>"
+}
+
+type eventHandler struct {
+	fn    func(*Context, Value)
+	label string // "event:<type>"
+}
+
 func newNode(c *Cluster, pid, role, machine string) *Node {
 	return &Node{
 		c: c, PID: pid, Role: role, Machine: machine,
 		pidSym: c.tracer.sym(pid), machineSym: c.tracer.sym(machine),
 		objects:       make(map[int64]*Object),
-		rpcHandlers:   make(map[string]func(*Context, []Value) Value),
-		msgHandlers:   make(map[string]func(*Context, Message)),
-		eventHandlers: make(map[string]func(*Context, Value)),
+		rpcHandlers:   make(map[string]rpcHandler),
+		msgHandlers:   make(map[string]msgHandler),
+		eventHandlers: make(map[string]eventHandler),
 		msgQ:          &dispatchQueue{},
 		eventQ:        &dispatchQueue{},
 		replyQ:        &dispatchQueue{},
@@ -83,7 +101,7 @@ func (n *Node) Crashed() bool { return n.crashed }
 // own handler thread whose operations causally come from the caller node.
 // Calls that arrived before registration are dispatched now.
 func (n *Node) HandleRPC(method string, fn func(*Context, []Value) Value) {
-	n.rpcHandlers[method] = fn
+	n.rpcHandlers[method] = rpcHandler{fn: fn, name: "rpc:" + method}
 	pend := n.rpcStash[method]
 	delete(n.rpcStash, method)
 	for _, p := range pend {
@@ -95,7 +113,7 @@ func (n *Node) HandleRPC(method string, fn func(*Context, []Value) Value) {
 // are dispatched serially by its message-dispatcher thread. Messages that
 // arrived before registration are re-queued now.
 func (n *Node) HandleMsg(verb string, fn func(*Context, Message)) {
-	n.msgHandlers[verb] = fn
+	n.msgHandlers[verb] = msgHandler{fn: fn, label: "msg:" + verb}
 	for _, it := range n.msgStash[verb] {
 		n.msgQ.push(it)
 	}
@@ -107,7 +125,7 @@ func (n *Node) HandleMsg(verb string, fn func(*Context, Message)) {
 // pattern of Figure 6). Events that arrived before registration are
 // re-queued now.
 func (n *Node) HandleEvent(typ string, fn func(*Context, Value)) {
-	n.eventHandlers[typ] = fn
+	n.eventHandlers[typ] = eventHandler{fn: fn, label: "event:" + typ}
 	for _, it := range n.eventStash[typ] {
 		n.eventQ.push(it)
 	}
@@ -133,9 +151,12 @@ type queuedItem struct {
 }
 
 // dispatchQueue is a FIFO consumed by one daemon thread. All access happens
-// under the scheduler baton.
+// under the scheduler baton. Consumed entries advance a head index instead of
+// re-slicing, and the backing array is rewound whenever the queue drains, so
+// steady-state dispatch reuses one slot array instead of allocating per item.
 type dispatchQueue struct {
 	items  []queuedItem
+	head   int
 	waiter *Thread
 }
 
@@ -150,12 +171,19 @@ func (q *dispatchQueue) push(it queuedItem) {
 
 // pop blocks the calling dispatcher thread until an item is available.
 func (q *dispatchQueue) pop(ctx *Context) queuedItem {
-	for len(q.items) == 0 {
+	for q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
 		q.waiter = ctx.t
-		ctx.t.block(ctx.c, "dispatch-idle", "")
+		ctx.t.block(ctx.c, "dispatch-idle", NoSite)
 	}
-	it := q.items[0]
-	q.items = q.items[1:]
+	it := q.items[q.head]
+	q.items[q.head] = queuedItem{} // release payload references
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
 	return it
 }
 
@@ -169,8 +197,8 @@ func (n *Node) startSystemThreads() {
 				n.msgStash[it.verb] = append(n.msgStash[it.verb], it)
 				continue
 			}
-			ctx.runHandlerFrame("msg:"+it.verb, it.causor, it.flags, func() {
-				h(ctx, Message{From: it.from, Verb: it.verb, Payload: it.payload})
+			ctx.runHandlerFrame(h.label, it.causor, it.flags, func() {
+				h.fn(ctx, Message{From: it.from, Verb: it.verb, Payload: it.payload})
 			})
 		}
 	}, trace.NoOp, true, false)
@@ -183,8 +211,8 @@ func (n *Node) startSystemThreads() {
 				n.eventStash[it.verb] = append(n.eventStash[it.verb], it)
 				continue
 			}
-			ctx.runHandlerFrame("event:"+it.verb, it.causor, it.flags, func() {
-				h(ctx, it.payload)
+			ctx.runHandlerFrame(h.label, it.causor, it.flags, func() {
+				h.fn(ctx, it.payload)
 			})
 		}
 	}, trace.NoOp, true, false)
@@ -201,7 +229,7 @@ func (n *Node) startSystemThreads() {
 				// The signal that unblocks the RPC client wait. Its
 				// disappearance (reply dropped, callee crashed pre-reply)
 				// is exactly the crash-regular hazard of bug MR3.
-				cs.done.signalInternal(ctx, it.payload, it.err, SiteRPCReplySig)
+				cs.done.signalInternal(ctx, it.payload, it.err, ctx.c.siteRPCReplySig)
 			})
 		}
 	}, trace.NoOp, true, false)
@@ -221,15 +249,15 @@ func (n *Node) PostEvent(typ string, payload Value, causor trace.OpID, flags uin
 // pending calls to it fail (if the cluster is fail-fast), convict
 // subscribers are notified, and restart policies fire. Local files survive —
 // they belong to the machine, not the process.
-func (c *Cluster) crashProcess(pid string, selfSite string) {
+func (c *Cluster) crashProcess(pid string, selfSite SiteID) {
 	n := c.nodes[pid]
 	if n == nil || n.crashed {
 		return
 	}
 	n.crashed = true
 	c.out.Crashed = append(c.out.Crashed, pid)
-	if c.services[n.Role] == pid {
-		delete(c.services, n.Role)
+	if c.roleService[n.roleID] == n {
+		c.roleService[n.roleID] = nil
 	}
 	c.tracer.emitSystem(opSpec{Kind: trace.KCrash, Aux: pid, Site: selfSite})
 	if c.tracer.trace != nil && c.tracer.trace.CrashedPID == "" {
@@ -240,13 +268,13 @@ func (c *Cluster) crashProcess(pid string, selfSite string) {
 	for _, t := range n.threads {
 		if t.alive() {
 			t.killPending = true
+			c.killPendingN++
 		}
 	}
 
 	// Fail or strand in-flight calls *to* this process.
 	if c.cfg.RPCFailFast {
-		for _, peer := range c.pidOrder {
-			pn := c.nodes[peer]
+		for _, pn := range c.nodeList {
 			for id, cs := range pn.pendingCalls {
 				if cs.callee == pid {
 					delete(pn.pendingCalls, id)
@@ -278,7 +306,7 @@ func (c *Cluster) crashProcess(pid string, selfSite string) {
 		if delay, ok := c.pendingPlan.RestartRoles[n.Role]; ok {
 			role := n.Role
 			c.addTimer(c.clock+delay, nil, func() {
-				if c.services[role] == "" {
+				if c.Lookup(role) == "" {
 					c.RestartRole(role, trace.NoOp)
 				}
 			})
@@ -289,7 +317,7 @@ func (c *Cluster) crashProcess(pid string, selfSite string) {
 // CrashNow crashes the process executing ctx (used by app-level supervisors
 // that shoot misbehaving workers, e.g. the RM killing task containers).
 func (ctx *Context) CrashNow(pid string) {
-	ctx.c.crashProcess(pid, "")
+	ctx.c.crashProcess(pid, NoSite)
 	if ctx.t.node.crashed {
 		panic(killedPanic{})
 	}

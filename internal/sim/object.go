@@ -12,7 +12,8 @@ import (
 type fieldSlot struct {
 	val       Value
 	lastWrite trace.OpID
-	res       string // cached resource ID, rendered once per field
+	res       string    // cached resource ID, rendered once per field
+	resSym    trace.Sym // trace symbol for res, interned at first traced emit
 }
 
 // Object is a heap object owned by one process. Object IDs are deterministic
@@ -57,22 +58,31 @@ func (o *Object) checkAccess(ctx *Context) {
 
 // Set writes a field. The write is traced when it executes inside a handler
 // context (selective tracing) and records the taints of the stored value.
+//
+// Heap accesses dominate traced runs, so Set and Get inline the Do pipeline
+// (trigger check → effect → record → trigger check → scheduler step) instead
+// of packaging the effect into OpReq closures: the closures were the single
+// largest allocation source in the op layer, and heap ops are never sends so
+// the drop-handling half of Do cannot apply to them.
 func (o *Object) Set(ctx *Context, field string, v Value) {
 	o.checkAccess(ctx)
 	slot := o.slot(field)
-	ctx.Do(OpReq{
-		Kind:  trace.KHeapWrite,
-		Res:   slot.res,
-		Taint: v.taint,
-		Apply: func() {
-			slot.val = v
-		},
-		PostEmit: func(id trace.OpID) {
-			if id != trace.NoOp {
-				slot.lastWrite = id
-			}
-		},
+	c := ctx.c
+	site := ctx.site()
+	c.checkTrigger(site, Before, false)
+	slot.val = v
+	id := c.tracer.emit(ctx.t, opSpec{
+		Kind:   trace.KHeapWrite,
+		Res:    slot.res,
+		ResSym: &slot.resSym,
+		Taint:  v.taint,
+		Site:   site,
 	})
+	if id != trace.NoOp {
+		slot.lastWrite = id
+	}
+	c.checkTrigger(site, After, false)
+	ctx.t.yieldStep(c)
 }
 
 // Get reads a field. Inside a sync-loop condition the read is recorded as a
@@ -84,21 +94,26 @@ func (o *Object) Get(ctx *Context, field string) Value {
 	o.checkAccess(ctx)
 	slot := o.slot(field)
 	kind := trace.KHeapRead
-	if ls := ctx.t.currentLoop(); ls != nil {
+	ls := ctx.t.currentLoop()
+	if ls != nil {
 		kind = trace.KLoopRead
 	}
-	var out Value
-	id, _, _ := ctx.Do(OpReq{
-		Kind: kind,
-		Res:  slot.res,
-		Src:  slot.lastWrite,
-		Apply: func() {
-			out = slot.val
-		},
+	c := ctx.c
+	site := ctx.site()
+	c.checkTrigger(site, Before, false)
+	out := slot.val
+	id := c.tracer.emit(ctx.t, opSpec{
+		Kind:   kind,
+		Res:    slot.res,
+		ResSym: &slot.resSym,
+		Src:    slot.lastWrite,
+		Site:   site,
 	})
+	c.checkTrigger(site, After, false)
+	ctx.t.yieldStep(c)
 	if id != trace.NoOp {
-		out = out.WithTaint(id)
-		if ls := ctx.t.currentLoop(); ls != nil {
+		out = out.withTaint1(id)
+		if ls != nil {
 			ls.reads = append(ls.reads, id)
 		}
 	}

@@ -79,25 +79,25 @@ func (ctx *Context) Call(target, method string, args ...Value) (Value, error) {
 	var v Value
 	var err error
 	if c.cfg.RPCClientTimeout > 0 {
-		v, err = cs.done.waitAt(ctx, c.cfg.RPCClientTimeout, SiteRPCClientWait)
+		v, err = cs.done.waitAt(ctx, c.cfg.RPCClientTimeout, c.siteRPCClientWait)
 		if ErrWaitTimeout(err) {
 			delete(caller.pendingCalls, cs.callID)
 			return Value{}, ErrRPCTimeout
 		}
 	} else {
-		v, err = cs.done.waitAt(ctx, 0, SiteRPCClientWait)
+		v, err = cs.done.waitAt(ctx, 0, c.siteRPCClientWait)
 	}
 	return v, err
 }
 
 // spawnRPCHandler runs one incoming call in a fresh handler thread on n.
 func (n *Node) spawnRPCHandler(p pendingRPC) {
-	handler := n.rpcHandlers[p.method]
-	n.c.spawnThread(n, "rpc:"+p.method, func(hctx *Context) {
-		defer hctx.Scope("rpc:" + p.method)()
+	h := n.rpcHandlers[p.method]
+	n.c.spawnThread(n, h.name, func(hctx *Context) {
+		defer hctx.Scope(h.name)()
 		var result Value
 		var remoteErr error
-		if err := hctx.Try(func() { result = handler(hctx, p.args) }); err != nil {
+		if err := hctx.Try(func() { result = h.fn(hctx, p.args) }); err != nil {
 			remoteErr = &RemoteError{Kind: err.Kind}
 		}
 		// Branches taken inside the handler control its return value; the
@@ -112,7 +112,7 @@ func (n *Node) spawnRPCHandler(p pendingRPC) {
 			Aux:    "rpc-reply:" + p.method,
 			Target: p.callerPID,
 			Taint:  result.taint,
-			Site:   SiteRPCReplySend,
+			Site:   hctx.c.siteRPCReplySend,
 			IsSend: true,
 			Apply: func() {
 				cn := hctx.c.nodes[p.callerPID]

@@ -1,9 +1,6 @@
 package sim
 
-import (
-	"container/heap"
-	"time"
-)
+import "time"
 
 // timer is a scheduled wakeup: either a thread wake (possibly a timed-wait
 // expiry) or a scheduler-context callback (e.g. a planned role restart).
@@ -16,18 +13,58 @@ type timer struct {
 	fn    func()
 }
 
+// timerHeap is a hand-rolled binary min-heap ordered by (at, seq). Concrete
+// push/pop methods keep timers out of interface values, so arming or firing a
+// timer never allocates once the backing array has grown to steady state.
 type timerHeap []timer
 
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
+func (h timerHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *timerHeap) Push(x any)   { *h = append(*h, x.(timer)) }
-func (h *timerHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+func (h *timerHeap) push(tm timer) {
+	*h = append(*h, tm)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *timerHeap) pop() timer {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = timer{} // release fn/thread references
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && s.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top
+}
 
 func (c *Cluster) addTimer(at int64, t *Thread, fn func()) {
 	c.nextSeq++
@@ -35,12 +72,15 @@ func (c *Cluster) addTimer(at int64, t *Thread, fn func()) {
 	if t != nil {
 		tm.token = t.blockToken
 	}
-	heap.Push(&c.timers, tm)
+	if fn != nil {
+		c.fnTimers++
+	}
+	c.timers.push(tm)
 }
 
 func (c *Cluster) addTimedWaitTimer(at int64, t *Thread) {
 	c.nextSeq++
-	heap.Push(&c.timers, timer{at: at, seq: c.nextSeq, t: t, token: t.blockToken, timed: true})
+	c.timers.push(timer{at: at, seq: c.nextSeq, t: t, token: t.blockToken, timed: true})
 }
 
 // fireDue fires every timer due at or before the current clock. Returns
@@ -48,10 +88,11 @@ func (c *Cluster) addTimedWaitTimer(at int64, t *Thread) {
 func (c *Cluster) fireDue() bool {
 	fired := false
 	for len(c.timers) > 0 && c.timers[0].at <= c.clock {
-		tm := heap.Pop(&c.timers).(timer)
+		tm := c.timers.pop()
 		fired = true
 		switch {
 		case tm.fn != nil:
+			c.fnTimers--
 			tm.fn()
 		case tm.t != nil:
 			if tm.t.state == tsBlocked && tm.t.blockToken == tm.token {
@@ -74,27 +115,6 @@ func (c *Cluster) advanceToNextTimer() bool {
 	return c.fireDue()
 }
 
-// processKills reaps threads whose process crashed: each is resumed once
-// with a kill order so its goroutine unwinds.
-func (c *Cluster) processKills() {
-	for {
-		var victim *Thread
-		for _, t := range c.threads {
-			if t.killPending && t.alive() {
-				victim = t
-				break
-			}
-		}
-		if victim == nil {
-			return
-		}
-		victim.killPending = false
-		victim.state = tsRunning
-		victim.resume <- resumeMsg{kill: true}
-		<-c.yielded
-	}
-}
-
 // applyPlanAtStep injects the observation crash when its step arrives.
 func (c *Cluster) applyPlanAtStep() {
 	p := c.pendingPlan
@@ -105,28 +125,135 @@ func (c *Cluster) applyPlanAtStep() {
 	pid := p.CrashPID
 	if n := c.nodes[pid]; n == nil {
 		// Treat as a role name: crash its current incarnation.
-		pid = c.services[p.CrashPID]
+		pid = c.Lookup(p.CrashPID)
 	}
 	if pid != "" {
-		c.crashProcess(pid, "plan")
+		c.crashProcess(pid, c.sitePlan)
 	}
 }
 
 // workloadDone reports whether every non-daemon thread has finished and no
 // scheduled callback (e.g. a planned role restart) is still pending — a
-// restart will spawn fresh non-daemon work.
+// restart will spawn fresh non-daemon work. Both conditions are tracked
+// incrementally, so the check is O(1) per scheduler step.
 func (c *Cluster) workloadDone() bool {
+	return c.liveNonDaemon == 0 && c.fnTimers == 0
+}
+
+// runnable returns the runnable threads in thread-id order, reusing one
+// scratch slice. Threads are spawned with ascending ids and c.threads keeps
+// spawn order, so a single in-order scan yields the deterministic order the
+// scheduler needs without sorting or allocating.
+func (c *Cluster) runnable() []*Thread {
+	out := c.runScratch[:0]
 	for _, t := range c.threads {
-		if !t.daemon && t.alive() {
-			return false
+		if t.state == tsRunnable {
+			out = append(out, t)
 		}
 	}
-	for _, tm := range c.timers {
-		if tm.fn != nil {
-			return false
+	c.runScratch = out
+	return out
+}
+
+// compactThreads drops finished threads from the scheduler's scan list once
+// they outnumber the live ones. Live threads keep their relative (spawn-id)
+// order, so runnable() still yields the deterministic order, and the trigger
+// depends only on deterministic counters, so paired runs compact identically.
+// Workloads that churn short-lived handler threads otherwise pay an
+// ever-growing runnable scan per step.
+func (c *Cluster) compactThreads() {
+	w := 0
+	for _, t := range c.threads {
+		if t.alive() {
+			c.threads[w] = t
+			w++
 		}
 	}
-	return true
+	for i := w; i < len(c.threads); i++ {
+		c.threads[i] = nil
+	}
+	c.threads = c.threads[:w]
+	c.deadThreads = 0
+}
+
+// schedule runs the scheduler bookkeeping on the current goroutine — whichever
+// thread (or Run itself) is releasing the baton — and picks what runs next.
+// It returns the chosen thread with its wake payload staged in pendingWake,
+// or nil when the run is over (workload complete, deadlock, or step budget).
+//
+// The sequencing exactly mirrors the classic central loop: after a normal
+// step the due timers fire, then the plan crash is applied, crashed threads
+// are reaped one at a time (the reaping flag marks re-entries from a kill
+// unwind, which resume the reap scan without re-running the step-boundary
+// work), and only then is a runnable thread chosen.
+func (c *Cluster) schedule() *Thread {
+	if !c.reaping {
+		c.curThread = nil
+		c.fireDue()
+		if c.deadThreads > 64 && c.deadThreads*2 > len(c.threads) {
+			c.compactThreads()
+		}
+	}
+	for {
+		if !c.reaping {
+			c.applyPlanAtStep()
+		}
+		if c.killPendingN > 0 {
+			for _, t := range c.threads {
+				if t.killPending && t.alive() {
+					t.killPending = false
+					c.killPendingN--
+					t.state = tsRunning
+					t.pendingWake = resumeMsg{kill: true}
+					c.reaping = true
+					return t
+				}
+			}
+		}
+		c.reaping = false
+		if c.workloadDone() {
+			c.out.Completed = true
+			return nil
+		}
+		runnable := c.runnable()
+		if len(runnable) == 0 {
+			if c.advanceToNextTimer() {
+				continue
+			}
+			return nil // deadlock: blocked non-daemon threads remain
+		}
+		if c.clock >= c.cfg.MaxSteps {
+			c.out.StepBudgetHit = true
+			return nil
+		}
+		t := runnable[c.rng.Intn(len(runnable))]
+		c.clock++
+		c.curThread = t
+		t.state = tsRunning
+		return t
+	}
+}
+
+// releaseBaton hands the baton from self to whatever runs next: it schedules
+// inline on self's goroutine and either returns true (self was picked again —
+// the switch-free fast path), unparks the chosen thread, or wakes the parked
+// Run goroutine when the run is over. During teardown the baton always goes
+// straight back to Run.
+func (c *Cluster) releaseBaton(self *Thread) bool {
+	if c.tearingDown {
+		c.mainSem <- struct{}{}
+		return false
+	}
+	next := c.schedule()
+	if next == self {
+		return true
+	}
+	if next == nil {
+		c.mainSem <- struct{}{}
+	} else {
+		next.unpark()
+	}
+	return false
 }
 
 // Run executes the cluster to completion: until the workload finishes, the
@@ -138,36 +265,10 @@ func (c *Cluster) Run() *Outcome {
 	}
 	c.running = true
 	c.startWall = time.Now()
-	heap.Init(&c.timers)
 
-	for {
-		c.applyPlanAtStep()
-		c.processKills()
-		if c.workloadDone() {
-			c.out.Completed = true
-			break
-		}
-		runnable := c.sortedRunnable()
-		if len(runnable) == 0 {
-			if c.advanceToNextTimer() {
-				continue
-			}
-			break // deadlock: blocked non-daemon threads remain
-		}
-		if c.clock >= c.cfg.MaxSteps {
-			c.out.StepBudgetHit = true
-			break
-		}
-		t := runnable[c.rng.Intn(len(runnable))]
-		c.clock++
-		c.curThread = t
-		t.state = tsRunning
-		msg := t.pendingWake
-		t.pendingWake = resumeMsg{}
-		t.resume <- msg
-		<-c.yielded
-		c.curThread = nil
-		c.fireDue()
+	if first := c.schedule(); first != nil {
+		first.unpark()
+		<-c.mainSem // park until a thread's schedule() ends the run
 	}
 
 	// Record hang sites before tearing threads down.
@@ -182,17 +283,19 @@ func (c *Cluster) Run() *Outcome {
 			}
 			c.out.Hung = append(c.out.Hung, HangSite{
 				PID: t.node.PID, Thread: t.id, Name: t.name,
-				Site: t.blockSite, Reason: reason,
+				Site: c.siteStr(t.blockSite), Reason: reason,
 			})
 		}
 	}
 
 	// Unwind every remaining goroutine so nothing leaks.
+	c.tearingDown = true
 	for _, t := range c.threads {
 		if t.alive() {
 			t.state = tsRunning
-			t.resume <- resumeMsg{kill: true}
-			<-c.yielded
+			t.pendingWake = resumeMsg{kill: true}
+			t.unpark()
+			<-c.mainSem
 		}
 	}
 

@@ -6,30 +6,63 @@ import (
 	"strings"
 )
 
+// SiteID is a dense, cluster-local identity for a static operation site
+// ("file.go:line", the RPC pseudo-sites, "plan", "unknown"). Hot paths —
+// trigger matching, occurrence counting, hang bookkeeping, tracing — compare
+// and index SiteIDs; the string form lives in the cluster's site table and is
+// rendered only at the boundary (outcomes, reports, trace symbol tables).
+type SiteID uint32
+
+// NoSite is the interned form of the empty site (no site computed this run).
+const NoSite SiteID = 0
+
 // callsite walks up the Go call stack to the first frame outside the
-// simulator and storage substrates and renders it as "file.go:line" — the
-// static operation ID the paper gets from bytecode positions. Sites are
-// stable across runs (they are source positions), which is what lets the
-// triggering module aim a fault at a reported operation.
+// simulator and storage substrates — the static operation ID the paper gets
+// from bytecode positions. Sites are stable across runs (they are source
+// positions), which is what lets the triggering module aim a fault at a
+// reported operation.
 //
 // Program counters are memoized in the per-cluster cache: each distinct PC is
-// symbolized once per run (the value "" marks simulator/storage frames to
-// skip), so the steady state is one map probe per frame instead of a
-// CallersFrames walk and a Sprintf per traced op.
-func callsite(cache map[uintptr]string) string {
-	var pcs [24]uintptr
+// symbolized and interned once per run (NoSite marks simulator/storage frames
+// to skip), so the steady state is one map probe per frame. Most app frames
+// sit within the first few callers, so the common case captures a short PC
+// window and only falls back to the historical 24-frame window when the near
+// frames are all substrate.
+func (c *Cluster) callsite() SiteID {
+	var pcs [8]uintptr
 	n := runtime.Callers(3, pcs[:])
 	for _, pc := range pcs[:n] {
-		s, ok := cache[pc]
-		if !ok {
-			s = resolvePC(pc)
-			cache[pc] = s
+		if id, ok := c.siteCache[pc]; ok {
+			if id != NoSite {
+				return id
+			}
+			continue
 		}
-		if s != "" {
-			return s
+		id := c.internSite(resolvePC(pc))
+		c.siteCache[pc] = id
+		if id != NoSite {
+			return id
 		}
 	}
-	return "unknown"
+	if n == len(pcs) {
+		// Deep stack: examine the rest of the historical 24-frame window.
+		var deep [16]uintptr
+		dn := runtime.Callers(3+len(pcs), deep[:])
+		for _, pc := range deep[:dn] {
+			if id, ok := c.siteCache[pc]; ok {
+				if id != NoSite {
+					return id
+				}
+				continue
+			}
+			id := c.internSite(resolvePC(pc))
+			c.siteCache[pc] = id
+			if id != NoSite {
+				return id
+			}
+		}
+	}
+	return c.siteUnknown
 }
 
 // resolvePC renders the site for one call PC, expanding inlined frames; it

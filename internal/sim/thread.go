@@ -30,11 +30,9 @@ type killedPanic struct{}
 // appPanic carries an uncaught application exception up the thread stack.
 type appPanic struct {
 	kind  string
-	site  string
+	site  SiteID
 	taint []trace.OpID
 }
-
-func (a appPanic) String() string { return fmt.Sprintf("%s@%s", a.kind, a.site) }
 
 // ctlFrame is one scope's control-dependence contribution.
 type ctlFrame struct {
@@ -55,9 +53,14 @@ type Thread struct {
 	daemon     bool
 	handlerCtx bool // inside an RPC/message/event handler (or its callees)
 
-	state       threadState
-	resume      chan resumeMsg
-	blockSite   string
+	state threadState
+	// sem is the thread's park/unpark semaphore: one buffered token, sent by
+	// whoever holds the scheduler baton, received by the parked thread. The
+	// wake payload travels out-of-band in pendingWake (the channel send/receive
+	// pair provides the happens-before edge), so a handoff moves zero bytes
+	// through the channel.
+	sem         chan struct{}
+	blockSite   SiteID
 	blockReason string
 	blockToken  int64 // invalidates stale timed-wait timers
 	killPending bool  // process crashed; scheduler will reap this thread
@@ -75,6 +78,13 @@ type Thread struct {
 	stack trace.StackID
 
 	scopes []ctlFrame
+	// ctlCache memoizes ctlTaints() across records: the merged control taints
+	// of the open scopes change only when a scope is pushed, popped, or
+	// guarded, which is far rarer than record emission. The cached slice is
+	// rebuilt fresh on invalidation and never mutated in place, so records may
+	// alias it.
+	ctlCache []trace.OpID
+	ctlDirty bool
 	// ctlHist accumulates every control taint observed during the current
 	// activation, surviving scope pops. RPC replies carry it, modelling the
 	// static fact that branches inside a handler control its return value.
@@ -87,7 +97,8 @@ type Thread struct {
 	// delivered holds the resumeMsg observed on the last wakeup (set by
 	// pause, on the thread's own goroutine).
 	delivered resumeMsg
-	// pendingWake is the payload the scheduler hands over on next resume.
+	// pendingWake is the payload the next resume delivers, staged by wake()
+	// (or by the kill/teardown paths) and consumed on the thread's goroutine.
 	pendingWake resumeMsg
 }
 
@@ -102,11 +113,14 @@ func (c *Cluster) spawnThread(n *Node, name string, fn func(*Context), causor tr
 		daemon:     daemon,
 		handlerCtx: handlerCtx,
 		state:      tsRunnable,
-		resume:     make(chan resumeMsg),
+		sem:        make(chan struct{}, 1),
 		frame:      trace.NoOp,
 	}
 	c.threads = append(c.threads, t)
 	n.threads = append(n.threads, t)
+	if !daemon {
+		c.liveNonDaemon++
+	}
 
 	if w := c.tracer.trace; w != nil {
 		t.stack = w.PushFrame(trace.NoStack, w.Intern(name))
@@ -119,7 +133,7 @@ func (c *Cluster) spawnThread(n *Node, name string, fn func(*Context), causor tr
 	t.frame = start
 
 	go func() {
-		msg := <-t.resume // wait for first schedule
+		msg := t.park() // wait for first schedule
 		if msg.kill {
 			t.finish(c, tsKilled)
 			return
@@ -131,7 +145,7 @@ func (c *Cluster) spawnThread(n *Node, name string, fn func(*Context), causor tr
 					t.finish(c, tsKilled)
 				case appPanic:
 					c.out.UncaughtExceptions = append(c.out.UncaughtExceptions,
-						fmt.Sprintf("%s in %s/%s", p.String(), t.node.PID, t.name))
+						fmt.Sprintf("%s@%s in %s/%s", p.kind, c.siteStr(p.site), t.node.PID, t.name))
 					t.finish(c, tsDone)
 				default:
 					panic(r) // programming error in sim or app: surface it
@@ -146,21 +160,49 @@ func (c *Cluster) spawnThread(n *Node, name string, fn func(*Context), causor tr
 	return t
 }
 
-// finish emits the exit record and returns the baton to the scheduler.
+// park blocks until the baton holder unparks this thread, then takes the
+// staged wake payload.
+func (t *Thread) park() resumeMsg {
+	<-t.sem
+	msg := t.pendingWake
+	t.pendingWake = resumeMsg{}
+	return msg
+}
+
+// unpark hands the baton to t. Only the baton holder may call it, and t is
+// always parked (or about to park), so the buffered send never blocks.
+func (t *Thread) unpark() { t.sem <- struct{}{} }
+
+// finish emits the exit record and hands the baton onward.
 func (t *Thread) finish(c *Cluster, st threadState) {
 	t.state = st
 	if st == tsDone {
 		c.tracer.emit(t, opSpec{Kind: trace.KThreadExit})
 	}
-	c.yielded <- t
+	if t.killPending {
+		// Died (self-crash) before the reaper delivered the kill.
+		t.killPending = false
+		c.killPendingN--
+	}
+	if !t.daemon {
+		c.liveNonDaemon--
+	}
+	c.deadThreads++
+	c.releaseBaton(t) // cannot pick self again: the thread is no longer alive
 }
 
-// pause parks the thread and hands the baton back to the scheduler. The
-// scheduler later resumes it with a resumeMsg; a kill message unwinds the
-// thread via panic.
+// pause parks the thread and hands the baton to the scheduler, which runs
+// inline on this goroutine. When the scheduler picks this same thread again
+// the pause returns without parking at all — the switch-free fast path. A
+// kill payload unwinds the thread via panic.
 func (t *Thread) pause(c *Cluster) resumeMsg {
-	c.yielded <- t
-	msg := <-t.resume
+	var msg resumeMsg
+	if c.releaseBaton(t) {
+		msg = t.pendingWake
+		t.pendingWake = resumeMsg{}
+	} else {
+		msg = t.park()
+	}
 	if msg.kill {
 		panic(killedPanic{})
 	}
@@ -175,7 +217,7 @@ func (t *Thread) yieldStep(c *Cluster) {
 }
 
 // block parks the thread in the blocked state until someone wakes it.
-func (t *Thread) block(c *Cluster, reason, site string) resumeMsg {
+func (t *Thread) block(c *Cluster, reason string, site SiteID) resumeMsg {
 	t.state = tsBlocked
 	t.blockReason = reason
 	t.blockSite = site
@@ -197,13 +239,18 @@ func (t *Thread) alive() bool {
 	return t.state == tsRunnable || t.state == tsBlocked || t.state == tsRunning
 }
 
-// ctlTaints unions the control taints of all open scopes.
+// ctlTaints returns the union of the control taints of all open scopes,
+// rebuilt only when a scope operation invalidated the cache.
 func (t *Thread) ctlTaints() []trace.OpID {
-	var out []trace.OpID
-	for i := range t.scopes {
-		out = mergeTaints(out, t.scopes[i].ctl)
+	if t.ctlDirty {
+		t.ctlDirty = false
+		var out []trace.OpID
+		for i := range t.scopes {
+			out = mergeTaints(out, t.scopes[i].ctl)
+		}
+		t.ctlCache = out
 	}
-	return out
+	return t.ctlCache
 }
 
 // pushScope opens a control-dependence scope and extends the thread's
@@ -214,6 +261,9 @@ func (t *Thread) pushScope(c *Cluster, fr ctlFrame) {
 		t.stack = w.PushFrame(t.stack, w.Intern(fr.label))
 	}
 	t.scopes = append(t.scopes, fr)
+	if len(fr.ctl) > 0 {
+		t.ctlDirty = true
+	}
 }
 
 // popScopesTo closes scopes down to depth, restoring the callstack that was
@@ -223,5 +273,11 @@ func (t *Thread) popScopesTo(depth int) {
 		return
 	}
 	t.stack = t.scopes[depth].prevStack
+	for i := depth; i < len(t.scopes); i++ {
+		if len(t.scopes[i].ctl) > 0 {
+			t.ctlDirty = true
+			break
+		}
+	}
 	t.scopes = t.scopes[:depth]
 }

@@ -5,12 +5,16 @@ import (
 )
 
 // opSpec is the pre-interning description of one record: the op layer fills
-// it with plain strings and the tracer interns them into the run's trace,
-// so application code and substrates never touch symbol tables.
+// it with the sim's dense site id plus plain strings, and the tracer interns
+// them into the run's trace, so application code and substrates never touch
+// symbol tables. ResSym, when non-nil, points at the emitting object's cached
+// trace symbol for Res: the first traced emit interns Res and writes the Sym
+// back through the pointer, and every later emit skips the string table.
 type opSpec struct {
 	Kind   trace.Kind
-	Site   string
+	Site   SiteID
 	Res    string
+	ResSym *trace.Sym
 	Aux    string
 	Target string
 	Src    trace.OpID
@@ -67,6 +71,38 @@ func (tr *tracer) sym(s string) trace.Sym {
 	return tr.trace.Intern(s)
 }
 
+// siteSym maps a sim SiteID to its trace Sym, interning the site string into
+// the trace on first use. The lazy mapping preserves the exact first-emission
+// interning order of the string-keyed tracer, so symbol numbering (and hence
+// encoded trace bytes) stays byte-identical; steady state is one slice load.
+func (tr *tracer) siteSym(id SiteID) trace.Sym {
+	if id == NoSite {
+		return trace.NoSym
+	}
+	c := tr.c
+	s := c.siteSyms[id]
+	if s == trace.NoSym {
+		s = tr.trace.Intern(c.siteStrs[id])
+		c.siteSyms[id] = s
+	}
+	return s
+}
+
+// internRes resolves the Res symbol, going through the caller's cache slot
+// when one is provided (heap fields and conds emit against the same resource
+// every time, so after the first emit the slot short-circuits the intern).
+func (tr *tracer) internRes(res string, cache *trace.Sym) trace.Sym {
+	if cache != nil {
+		s := *cache
+		if s == trace.NoSym && res != "" {
+			s = tr.trace.Intern(res)
+			*cache = s
+		}
+		return s
+	}
+	return tr.trace.Intern(res)
+}
+
 // shouldTrace applies the selectivity policy to one op kind.
 func (tr *tracer) shouldTrace(t *Thread, k trace.Kind) bool {
 	if tr.trace == nil {
@@ -93,6 +129,8 @@ func (tr *tracer) emit(t *Thread, op opSpec) trace.OpID {
 		return trace.NoOp
 	}
 	w := tr.trace
+	// Interning order (Site, Res, Aux, Target) matches the historical struct
+	// literal evaluation order, keeping symbol numbering byte-identical.
 	r := trace.Record{
 		TS:      tr.c.clock,
 		Machine: t.node.machineSym,
@@ -100,9 +138,9 @@ func (tr *tracer) emit(t *Thread, op opSpec) trace.OpID {
 		Thread:  t.id,
 		Frame:   t.frame,
 		Kind:    op.Kind,
-		Site:    w.Intern(op.Site),
+		Site:    tr.siteSym(op.Site),
 		Stack:   t.stack,
-		Res:     w.Intern(op.Res),
+		Res:     tr.internRes(op.Res, op.ResSym),
 		Src:     op.Src,
 		Aux:     w.Intern(op.Aux),
 		Target:  w.Intern(op.Target),
@@ -135,8 +173,8 @@ func (tr *tracer) emitSystem(op opSpec) trace.OpID {
 		TS:     tr.c.clock,
 		PID:    tr.sysPID,
 		Kind:   op.Kind,
-		Site:   w.Intern(op.Site),
-		Res:    w.Intern(op.Res),
+		Site:   tr.siteSym(op.Site),
+		Res:    tr.internRes(op.Res, op.ResSym),
 		Aux:    w.Intern(op.Aux),
 		Target: w.Intern(op.Target),
 		Flags:  op.Flags,

@@ -82,6 +82,12 @@ func (v Value) WithTaint(ops ...trace.OpID) Value {
 	return v
 }
 
+// withTaint1 is WithTaint for exactly one op, avoiding the variadic slice.
+func (v Value) withTaint1(id trace.OpID) Value {
+	v.taint = mergeTaint1(v.taint, id)
+	return v
+}
+
 // Derive produces a new value computed from v and the given inputs; the
 // result carries the union of all taints. Use it for app-level computation
 // that combines tainted data (string concat, arithmetic, ...).
@@ -98,10 +104,106 @@ func Derive(data any, inputs ...Value) Value {
 const maxTaint = 64
 
 // mergeTaints returns the sorted, deduplicated union, capped at maxTaint.
+//
+// Taint slices are immutable by convention (every mutation goes through a
+// merge that returns a fresh or aliased slice, never an in-place edit), and
+// every slice this package produces is already a sorted set. That makes the
+// union a linear two-pointer merge, and lets the subset cases return one of
+// the inputs unchanged — the dominant case in practice (repeated guards and
+// derives over the same dependencies), which then costs zero allocations.
 func mergeTaints(a []trace.OpID, b []trace.OpID) []trace.OpID {
 	if len(b) == 0 {
 		return a
 	}
+	if !sortedSet(a) || !sortedSet(b) {
+		return mergeTaintsSlow(a, b)
+	}
+	if len(a) == 0 {
+		return b
+	}
+	if subsetOf(b, a) {
+		return a
+	}
+	if subsetOf(a, b) {
+		return capTaints(b)
+	}
+	out := make([]trace.OpID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return capTaints(out)
+}
+
+// mergeTaint1 merges a single op into a sorted taint set.
+func mergeTaint1(a []trace.OpID, id trace.OpID) []trace.OpID {
+	// New ops have the highest IDs, so scan from the tail.
+	i := len(a)
+	for i > 0 && a[i-1] > id {
+		i--
+	}
+	if i > 0 && a[i-1] == id {
+		return a
+	}
+	out := make([]trace.OpID, 0, len(a)+1)
+	out = append(out, a[:i]...)
+	out = append(out, id)
+	out = append(out, a[i:]...)
+	return capTaints(out)
+}
+
+// sortedSet reports whether s is strictly increasing (sorted and deduped).
+func sortedSet(s []trace.OpID) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// subsetOf reports whether sorted set sub ⊆ sorted set sup.
+func subsetOf(sub, sup []trace.OpID) bool {
+	if len(sub) > len(sup) {
+		return false
+	}
+	j := 0
+	for _, id := range sub {
+		for j < len(sup) && sup[j] < id {
+			j++
+		}
+		if j == len(sup) || sup[j] != id {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// capTaints applies the maxTaint bound, keeping the highest (newest) ops.
+func capTaints(s []trace.OpID) []trace.OpID {
+	if len(s) > maxTaint {
+		return s[len(s)-maxTaint:]
+	}
+	return s
+}
+
+// mergeTaintsSlow is the general-case union for inputs that are not sorted
+// sets (none are produced by this package; external callers could).
+func mergeTaintsSlow(a, b []trace.OpID) []trace.OpID {
 	out := make([]trace.OpID, 0, len(a)+len(b))
 	out = append(out, a...)
 	out = append(out, b...)
@@ -113,11 +215,7 @@ func mergeTaints(a []trace.OpID, b []trace.OpID) []trace.OpID {
 			w++
 		}
 	}
-	out = out[:w]
-	if len(out) > maxTaint {
-		out = out[len(out)-maxTaint:]
-	}
-	return out
+	return capTaints(out[:w])
 }
 
 // taintsOf unions the taints of several values.
