@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -85,6 +86,7 @@ func runBenchSuite(seed int64, smoke bool) []benchEntry {
 			}
 		})
 		out = append(out, campaignThroughputEntries(seed, []string{"TOY"}, []int{1})...)
+		out = append(out, distThroughputEntries(seed, []string{"TOY"}, []int{1, 2})...)
 		out = append(out, traceFormatEntries(seed, "TOY")...)
 		out = append(out, pipelineMemoryEntries(seed, true)...)
 		return out
@@ -163,6 +165,7 @@ func runBenchSuite(seed int64, smoke bool) []benchEntry {
 		names = append(names, w.Name())
 	}
 	out = append(out, campaignThroughputEntries(seed, names, []int{1, 0})...)
+	out = append(out, distThroughputEntries(seed, names, []int{1, 2, 4})...)
 
 	out = append(out, traceFormatEntries(seed, "MR1")...)
 	out = append(out, pipelineMemoryEntries(seed, false)...)
@@ -477,4 +480,48 @@ func writeBenchJSON(path string, seed int64, smoke bool) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// distThroughputBudget is the per-measurement run budget for the distributed
+// throughput entries. The random strategy always executes the full budget, so
+// runs/sec conversion needs no warm-up campaign, and 400 runs amortize the
+// coordinator's fixed startup cost (listener, handshakes, drain) to a few
+// percent.
+const distThroughputBudget = 400
+
+// distLeaseSize is the lease size for the distributed throughput entries:
+// large enough to amortize framing, small enough that a lease loss is cheap.
+const distLeaseSize = 8
+
+// distThroughputEntries measures end-to-end distributed campaign throughput —
+// executed injection runs per second through the coordinator, the wire
+// protocol, and in-process workers — per workload at the given worker counts.
+// On a single-core host these entries measure protocol overhead, not scaling:
+// every worker shares one CPU, so workers=N can only reclaim scheduler/netpoll
+// idle time (a few percent either way). On an N-core host the same entries
+// measure near-linear scale-out, because each injection run is an independent
+// deterministic replay.
+func distThroughputEntries(seed int64, workloads []string, workerCounts []int) []benchEntry {
+	var out []benchEntry
+	for _, name := range workloads {
+		w := fcatch.MustWorkload(name)
+		for _, workers := range workerCounts {
+			cfg := fcatch.CampaignConfig{Strategy: fcatch.StrategyRandom, Seed: seed, Budget: distThroughputBudget}
+			opts := fcatch.DistOptions{Workers: workers, WorkerParallelism: 1, LeaseSize: distLeaseSize}
+			entryName := fmt.Sprintf("dist/%s/workers=%d", name, workers)
+			fmt.Fprintf(os.Stderr, "fcatch-bench: benchmarking %s...\n", entryName)
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := fcatch.DistributedCampaign(context.Background(), w, cfg, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			e := toEntry(entryName, r)
+			e.RunsPerSec = float64(distThroughputBudget) * 1e9 / float64(r.NsPerOp())
+			out = append(out, e)
+		}
+	}
+	return out
 }

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+)
+
+// compareThreshold is the relative slowdown above which an entry is flagged
+// as a regression (and below which, negated, as an improvement). Single-run
+// benchmark noise on shared hosts sits well inside this band.
+const compareThreshold = 0.10
+
+// runBenchCompare diffs two BENCH_*.json reports entry by entry and renders a
+// regression table: ns/op deltas for every benchmark both reports contain
+// (keyed by name), plus runs/sec deltas for throughput entries. Entries only
+// one side has are listed separately, so a renamed benchmark cannot silently
+// vanish from the trajectory. Returns the number of flagged regressions; the
+// caller decides whether that fails the run.
+func runBenchCompare(oldPath, newPath string) int {
+	oldRep, err := loadBenchReport(oldPath)
+	if err != nil {
+		fatalBench(err)
+	}
+	newRep, err := loadBenchReport(newPath)
+	if err != nil {
+		fatalBench(err)
+	}
+
+	oldBy := make(map[string]benchEntry, len(oldRep.Benchmarks))
+	for _, e := range oldRep.Benchmarks {
+		oldBy[e.Name] = e
+	}
+	newBy := make(map[string]benchEntry, len(newRep.Benchmarks))
+	for _, e := range newRep.Benchmarks {
+		newBy[e.Name] = e
+	}
+
+	fmt.Printf("old: %s (%s, GOMAXPROCS=%d)\n", oldPath, oldRep.GoVersion, oldRep.GOMAXPROCS)
+	fmt.Printf("new: %s (%s, GOMAXPROCS=%d)\n\n", newPath, newRep.GoVersion, newRep.GOMAXPROCS)
+
+	var regressions int
+	fmt.Printf("%-52s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, e := range newRep.Benchmarks {
+		o, ok := oldBy[e.Name]
+		if !ok {
+			continue
+		}
+		delta := float64(e.NsPerOp)/float64(o.NsPerOp) - 1
+		mark := ""
+		switch {
+		case delta > compareThreshold:
+			mark = "  REGRESSION"
+			regressions++
+		case delta < -compareThreshold:
+			mark = "  improved"
+		}
+		fmt.Printf("%-52s %14d %14d %+7.1f%%%s\n", e.Name, o.NsPerOp, e.NsPerOp, delta*100, mark)
+		if o.RunsPerSec > 0 && e.RunsPerSec > 0 {
+			rd := e.RunsPerSec/o.RunsPerSec - 1
+			fmt.Printf("%-52s %14.0f %14.0f %+7.1f%%\n", "  └ runs/sec", o.RunsPerSec, e.RunsPerSec, rd*100)
+		}
+	}
+
+	var onlyOld, onlyNew []string
+	for name := range oldBy {
+		if _, ok := newBy[name]; !ok {
+			onlyOld = append(onlyOld, name)
+		}
+	}
+	for name := range newBy {
+		if _, ok := oldBy[name]; !ok {
+			onlyNew = append(onlyNew, name)
+		}
+	}
+	if len(onlyOld) > 0 {
+		fmt.Printf("\nonly in old (%d): %s\n", len(onlyOld), strings.Join(onlyOld, ", "))
+	}
+	if len(onlyNew) > 0 {
+		fmt.Printf("\nonly in new (%d): %s\n", len(onlyNew), strings.Join(onlyNew, ", "))
+	}
+	fmt.Printf("\n%d regression(s) beyond %.0f%%\n", regressions, compareThreshold*100)
+	return regressions
+}
+
+func loadBenchReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark entries", path)
+	}
+	for _, e := range rep.Benchmarks {
+		if e.NsPerOp <= 0 || math.IsNaN(e.SecondsOp) {
+			return nil, fmt.Errorf("%s: malformed entry %q", path, e.Name)
+		}
+	}
+	return &rep, nil
+}
+
+func fatalBench(err error) {
+	fmt.Fprintln(os.Stderr, "fcatch-bench:", err)
+	os.Exit(1)
+}

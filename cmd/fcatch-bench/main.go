@@ -9,6 +9,7 @@
 //	fcatch-bench -campaign [-runs N]  # §8.3 extended: campaign strategy comparison
 //	fcatch-bench -triggering          # §8.4 fault-type matrix
 //	fcatch-bench -json out.json       # machine-readable perf suite (BENCH_*.json)
+//	fcatch-bench -compare old.json new.json  # regression-diff two perf suites
 //
 // -parallelism bounds the pipeline's worker pool for every experiment
 // (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting.
@@ -40,9 +41,22 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "pipeline worker bound (0 = GOMAXPROCS, 1 = sequential)")
 	jsonOut := flag.String("json", "", "run the perf benchmark suite and write JSON results to this file")
 	smoke := flag.Bool("smoke", false, "with -json: run only the cheap TOY-scale entries (CI smoke test)")
+	compareBench := flag.Bool("compare", false, "diff two perf suites: fcatch-bench -compare old.json new.json")
+	strict := flag.Bool("strict", false, "with -compare: exit nonzero when regressions are flagged")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *compareBench {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "fcatch-bench: -compare takes exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		if n := runBenchCompare(flag.Arg(0), flag.Arg(1)); n > 0 && *strict {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *cpuprofile != "" || *memprofile != "" {
 		defer profileTo(*cpuprofile, *memprofile)()

@@ -8,14 +8,21 @@
 //	fcatch-campaign -resume mr1.json -runs 800                 # continue it
 //	fcatch-campaign -diff a.json -diff2 b.json                 # compare finds
 //	fcatch-campaign -compare -runs 400                         # all workloads × all strategies
+//	fcatch-campaign -workload MR1 -runs 4000 -workers 4        # distributed, in-process fleet
+//	fcatch-campaign -workload MR1 -runs 4000 -serve :9093      # distributed, external fcatch-workers
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"fcatch"
+	"fcatch/internal/cliflag"
 )
 
 func main() {
@@ -23,7 +30,7 @@ func main() {
 	strategy := flag.String("strategy", fcatch.StrategyCoverage, "search strategy: random | exhaustive-site | coverage-guided")
 	runs := flag.Int("runs", 400, "run budget (total, including a resumed prefix)")
 	seed := flag.Int64("seed", 1, "deterministic base seed")
-	parallelism := flag.Int("parallelism", 0, "concurrent injection runs (0 = GOMAXPROCS, 1 = sequential)")
+	parallelism := cliflag.Parallelism(flag.CommandLine, "injection runs")
 	batch := flag.Int("batch", 0, "max runs between strategy re-weightings (0 = strategy default)")
 	corpus := flag.String("corpus", "", "save the campaign corpus to this JSON file")
 	resume := flag.String("resume", "", "resume the campaign recorded in this corpus file")
@@ -31,6 +38,9 @@ func main() {
 	compare := flag.Bool("compare", false, "render the strategy-comparison table instead of one campaign")
 	diffA := flag.String("diff", "", "diff mode: first corpus file")
 	diffB := flag.String("diff2", "", "diff mode: second corpus file")
+	serve := flag.String("serve", "", "distributed: listen on this host:port for fcatch-worker processes")
+	workers := flag.Int("workers", 0, "distributed: spawn this many in-process workers (usable with or without -serve)")
+	leaseSize := flag.Int("lease", 0, "distributed: plans per lease (0 = default; corpus identical at any setting)")
 	flag.Parse()
 
 	switch {
@@ -43,23 +53,93 @@ func main() {
 	case *compare:
 		runCompare(*workload, *runs, *seed, *parallelism)
 
+	case *serve != "" || *workers > 0:
+		runDistributed(*workload, *strategy, *runs, *seed, *parallelism, *batch,
+			*corpus, *resume, *serve, *workers, *leaseSize)
+
 	default:
 		runCampaign(*workload, *strategy, *runs, *seed, *parallelism, *batch, *corpus, *resume, *spaceTrace)
 	}
 }
 
-func runCampaign(workload, strategy string, runs int, seed int64, parallelism, batch int, corpusOut, resume, spaceTrace string) {
-	var prior *fcatch.CampaignCorpus
-	if resume != "" {
-		var err error
-		if prior, err = fcatch.LoadCampaignCorpus(resume); err != nil {
+// loadResume loads a prior corpus and pins the campaign identity from it
+// (flags only extend the budget on resume).
+func loadResume(resume string, workload, strategy *string, seed *int64) *fcatch.CampaignCorpus {
+	if resume == "" {
+		return nil
+	}
+	prior, err := fcatch.LoadCampaignCorpus(resume)
+	if err != nil {
+		fatal(err)
+	}
+	*workload, *strategy, *seed = prior.Workload, prior.Strategy, prior.Seed
+	fmt.Fprintf(os.Stderr, "fcatch-campaign: resuming %s/%s (seed %d) from %d cached run(s)\n",
+		*workload, *strategy, *seed, len(prior.Entries))
+	return prior
+}
+
+// runDistributed drives a coordinator: the campaign engine runs here, leases
+// stream to in-process (-workers) and/or external (-serve + fcatch-worker)
+// workers, and the merged corpus is byte-identical to a local run. SIGINT
+// drains gracefully: complete batches are kept, and with -corpus the partial
+// corpus is saved as a resume point.
+func runDistributed(workload, strategy string, runs int, seed int64, parallelism, batch int, corpusOut, resume, serve string, workers, leaseSize int) {
+	prior := loadResume(resume, &workload, &strategy, &seed)
+	if workload == "" {
+		fatal(fmt.Errorf("-workload is required (or -resume); see `fcatch list`"))
+	}
+	w, err := fcatch.ByName(workload)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := fcatch.CampaignConfig{
+		Strategy:  strategy,
+		Seed:      seed,
+		Budget:    runs,
+		BatchSize: batch,
+	}
+	opts := fcatch.DistOptions{
+		Addr:              serve,
+		Workers:           workers,
+		WorkerParallelism: parallelism,
+		LeaseSize:         leaseSize,
+		OnListen: func(addr string) {
+			fmt.Fprintf(os.Stderr, "fcatch-campaign: serving leases on %s (%d in-process worker(s))\n", addr, workers)
+		},
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := fcatch.ResumeDistributedCampaign(ctx, w, cfg, prior, opts)
+	interrupted := errors.Is(err, context.Canceled) && res != nil
+	if err != nil && !interrupted {
+		fatal(err)
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "fcatch-campaign: interrupted at %d/%d run(s); complete batches kept\n", res.Runs, runs)
+	}
+	fmt.Print(fcatch.RenderCampaign(res))
+	if corpusOut != "" {
+		if err := res.Corpus.Save(corpusOut); err != nil {
 			fatal(err)
 		}
-		// The corpus pins the campaign identity; flags only extend the budget.
-		workload, strategy, seed = prior.Workload, prior.Strategy, prior.Seed
-		fmt.Fprintf(os.Stderr, "fcatch-campaign: resuming %s/%s (seed %d) from %d cached run(s)\n",
-			workload, strategy, seed, len(prior.Entries))
+		what := "corpus"
+		if interrupted {
+			what = "partial corpus (resume with -resume)"
+		}
+		fmt.Fprintf(os.Stderr, "fcatch-campaign: saved %s (%d runs) to %s\n", what, res.Runs, corpusOut)
 	}
+	if interrupted {
+		os.Exit(130)
+	}
+}
+
+func runCampaign(workload, strategy string, runs int, seed int64, parallelism, batch int, corpusOut, resume, spaceTrace string) {
+	prior := loadResume(resume, &workload, &strategy, &seed)
 	if workload == "" {
 		fatal(fmt.Errorf("-workload is required (or -resume / -compare); see `fcatch list`"))
 	}

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"fcatch"
+	"fcatch/internal/cliflag"
 	"fcatch/internal/core"
 	"fcatch/internal/sim"
 	"fcatch/internal/trace"
@@ -53,7 +54,7 @@ func main() {
 	pid := fs.String("pid", "", "grep: process filter (exact, or prefix with trailing *)")
 	faulty := fs.Bool("faulty", false, "grep: search the faulty run instead of the fault-free one")
 	in := fs.String("in", "", "grep: stream a saved trace file instead of re-observing the workload")
-	parallelism := fs.Int("parallelism", 0, "worker bound for detect/trigger/random (0 = GOMAXPROCS, 1 = sequential; results identical at any setting)")
+	parallelism := cliflag.Parallelism(fs, "detect/trigger/random runs")
 	_ = fs.Parse(os.Args[2:])
 
 	if cmd == "repro" {

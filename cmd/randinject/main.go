@@ -12,13 +12,14 @@ import (
 	"os"
 
 	"fcatch"
+	"fcatch/internal/cliflag"
 )
 
 func main() {
 	workload := flag.String("workload", "", "one workload (default: all six)")
 	runs := flag.Int("runs", 400, "injection runs per workload")
 	seed := flag.Int64("seed", 1, "deterministic base seed")
-	parallelism := flag.Int("parallelism", 0, "concurrent runs (0 = GOMAXPROCS, 1 = sequential; results identical at any setting)")
+	parallelism := cliflag.Parallelism(flag.CommandLine, "injection runs")
 	flag.Parse()
 
 	var targets []fcatch.Workload

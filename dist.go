@@ -1,0 +1,50 @@
+package fcatch
+
+import (
+	"context"
+
+	"fcatch/internal/dist"
+)
+
+// Re-exported distributed-campaign types, so downstream users only import
+// this package.
+type (
+	// DistOptions parameterizes a distributed campaign's coordinator: listen
+	// address, in-process worker count, lease sizing, and failure handling.
+	DistOptions = dist.Options
+	// CampaignWorkerConfig parameterizes one campaign worker process.
+	CampaignWorkerConfig = dist.WorkerConfig
+)
+
+// DistributedCampaign runs a fault-injection campaign sharded across worker
+// processes over TCP. The coordinator enumerates the fault space, streams
+// leases of plans to whichever workers connect (opts.Workers spawns
+// in-process ones), and merges results deterministically: the corpus is
+// byte-identical to Campaign with Parallelism=1 at any worker count, join
+// order, or lease interleaving — including workers crashing or hanging
+// mid-lease, whose leases are reassigned.
+//
+// On context cancellation it returns the partial result of the complete
+// batches alongside the context error; the partial corpus is a valid resume
+// point for ResumeDistributedCampaign or ResumeCampaign.
+func DistributedCampaign(ctx context.Context, w Workload, cfg CampaignConfig, opts DistOptions) (*CampaignResult, error) {
+	return dist.Serve(ctx, w, cfg, nil, opts)
+}
+
+// ResumeDistributedCampaign continues a campaign from a saved corpus with
+// distributed execution: the cached prefix replays from the corpus and only
+// the remaining budget is leased out. Local and distributed runs share one
+// resume path — a corpus saved by either resumes under either.
+func ResumeDistributedCampaign(ctx context.Context, w Workload, cfg CampaignConfig, prior *CampaignCorpus, opts DistOptions) (*CampaignResult, error) {
+	return dist.Serve(ctx, w, cfg, prior, opts)
+}
+
+// RunCampaignWorker connects to a coordinator and executes leases until the
+// campaign drains or ctx is cancelled. When cfg.Resolve is nil the worker
+// resolves workload names through the built-in registry (ByName).
+func RunCampaignWorker(ctx context.Context, cfg CampaignWorkerConfig) error {
+	if cfg.Resolve == nil {
+		cfg.Resolve = ByName
+	}
+	return dist.RunWorker(ctx, cfg)
+}

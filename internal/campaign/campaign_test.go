@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"path/filepath"
@@ -455,5 +456,64 @@ func TestSpaceFromSourceMatchesNewSpace(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatal("space enumerated from the decoded FCT2 stream diverged")
+	}
+}
+
+// interruptingExecutor executes batches on the worker path (ExecPlans) and
+// cancels the campaign at the start of its Nth batch — a deterministic
+// mid-batch interruption.
+type interruptingExecutor struct {
+	w       core.Workload
+	cfg     Config
+	batches int
+	failAt  int
+	cancel  context.CancelFunc
+}
+
+func (e *interruptingExecutor) ExecuteBatch(ctx context.Context, plans []Plan) ([]RunResult, error) {
+	e.batches++
+	if e.batches == e.failAt {
+		e.cancel()
+		return nil, ctx.Err()
+	}
+	return ExecPlans(ctx, e.w, e.cfg.Seed, StrategyTraced(e.cfg.Strategy), 1, plans)
+}
+
+// TestResumeAfterMidBatchInterruption pins the recovery contract at the
+// engine level, with no timing involved: a campaign interrupted mid-batch
+// keeps exactly its complete batches, and resuming from that partial corpus
+// converges byte-for-byte with a never-interrupted run.
+func TestResumeAfterMidBatchInterruption(t *testing.T) {
+	cfg := Config{Strategy: StrategyRandom, Seed: 9, Budget: 120, BatchSize: 20, Parallelism: 1}
+	want, err := Run(toy.New(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ex := &interruptingExecutor{w: toy.New(), cfg: cfg, failAt: 3, cancel: cancel}
+	partial, err := ResumeWith(ctx, toy.New(), cfg, nil, ex)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted campaign: err = %v, want context.Canceled", err)
+	}
+	if wantRuns := 2 * cfg.BatchSize; partial.Runs != wantRuns {
+		t.Fatalf("partial campaign kept %d runs, want the %d of its complete batches", partial.Runs, wantRuns)
+	}
+
+	path := filepath.Join(t.TempDir(), "partial.json")
+	if err := partial.Corpus.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	prior, err := LoadCorpus(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Resume(toy.New(), cfg, prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corpusJSON(t, resumed.Corpus) != corpusJSON(t, want.Corpus) {
+		t.Fatal("corpus resumed after a mid-batch interruption differs from an uninterrupted campaign")
 	}
 }

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -90,6 +91,61 @@ func (r *Result) Signatures() []string {
 	return out
 }
 
+// Executor runs the uncached plans of one strategy batch and returns their
+// results in plan order. The engine owns everything around the executor —
+// batching, prior-corpus cache hits, merge order, strategy feedback — so an
+// executor only decides *where* plans run: in-process goroutines (the
+// default) or a fleet of remote workers (internal/dist). Because runPlan is a
+// pure function of (workload, seed, plan), any executor that returns results
+// in plan order yields a corpus byte-identical to the sequential run.
+//
+// An executor error abandons the whole batch: the engine returns the partial
+// result built from previously completed batches (corpus prefix = whole
+// batches, which is what keeps an interrupted campaign resumable).
+type Executor interface {
+	ExecuteBatch(ctx context.Context, plans []Plan) ([]RunResult, error)
+}
+
+// localExecutor is the in-process executor: the PR-2 batch fan-out through
+// internal/parallel, now cancellable at run granularity.
+type localExecutor struct {
+	w           core.Workload
+	seed        int64
+	target      string
+	restart     map[string]int64
+	traced      bool
+	parallelism int
+}
+
+func (e *localExecutor) ExecuteBatch(ctx context.Context, plans []Plan) ([]RunResult, error) {
+	return parallel.MapCtx(ctx, e.parallelism, len(plans), func(i int) RunResult {
+		return runPlan(e.w, e.seed, plans[i], e.target, e.restart, e.traced)
+	})
+}
+
+// ExecPlans executes a slice of plans for workload w exactly as the engine's
+// local executor would — same isolation, same tracing mode, same determinism.
+// It is the worker half of the distributed campaign: a worker process calls
+// it on each lease it receives and ships the results back, and because the
+// results are a pure function of (workload, seed, plan), the coordinator can
+// fold them into the corpus as if it had run them itself.
+func ExecPlans(ctx context.Context, w core.Workload, seed int64, traced bool, parallelism int, plans []Plan) ([]RunResult, error) {
+	e := &localExecutor{w: w, seed: seed, target: w.CrashTarget(),
+		restart: w.RestartRoles(), traced: traced, parallelism: parallelism}
+	return e.ExecuteBatch(ctx, plans)
+}
+
+// StrategyTraced reports whether campaigns under this strategy trace their
+// injection runs (site strategies do; the random baseline runs untraced).
+// Distributed coordinators send it to workers so a lease executes with
+// exactly the tracing mode the local engine would use.
+func StrategyTraced(strategy string) bool {
+	if strategy == "" {
+		strategy = StrategyCoverage
+	}
+	return needsSpace(strategy)
+}
+
 // Run executes a campaign from scratch.
 func Run(w core.Workload, cfg Config) (*Result, error) {
 	return Resume(w, cfg, nil)
@@ -102,6 +158,16 @@ func Run(w core.Workload, cfg Config) (*Result, error) {
 // Passing a larger Budget than the prior run extends the campaign; passing
 // the same Budget replays it (and verifies the corpus is self-consistent).
 func Resume(w core.Workload, cfg Config, prior *Corpus) (*Result, error) {
+	return ResumeWith(context.Background(), w, cfg, prior, nil)
+}
+
+// ResumeWith is Resume with an explicit context and a pluggable executor
+// (nil = run plans in-process). On cancellation it returns the partial
+// result accumulated from complete batches alongside the context error; the
+// partial corpus is a valid resume point because batches commit atomically —
+// an interrupted batch contributes nothing, and on resume the deterministic
+// strategy re-proposes it from the same state.
+func ResumeWith(ctx context.Context, w core.Workload, cfg Config, prior *Corpus, exec Executor) (*Result, error) {
 	cfg = cfg.withDefaults()
 	st, err := NewStrategy(cfg.Strategy)
 	if err != nil {
@@ -155,8 +221,11 @@ func Resume(w core.Workload, cfg Config, prior *Corpus) (*Result, error) {
 	}
 	st.Init(sp, cfg.Seed, cfg.Budget)
 
+	if exec == nil {
+		exec = &localExecutor{w: w, seed: cfg.Seed, target: sp.Target,
+			restart: w.RestartRoles(), traced: traced, parallelism: cfg.Parallelism}
+	}
 	cor := NewCorpus(w.Name(), cfg.Strategy, cfg.Seed)
-	restart := w.RestartRoles()
 	res := &Result{Workload: w.Name(), Strategy: cfg.Strategy, Seed: cfg.Seed,
 		Failures: map[string]int{}, SpacePoints: len(sp.Points), Corpus: cor}
 
@@ -169,15 +238,43 @@ func Resume(w core.Workload, cfg Config, prior *Corpus) (*Result, error) {
 		if len(batch) == 0 {
 			break
 		}
+		// Answer the resumed prefix from the prior corpus; only the plans the
+		// corpus cannot answer go to the executor. Results land back in their
+		// batch slots, so the merge below is in proposal order regardless of
+		// how (or where) the missing plans ran.
 		first := res.Runs
-		results := parallel.Map(cfg.Parallelism, len(batch), func(i int) RunResult {
+		results := make([]RunResult, len(batch))
+		var missIdx []int
+		for i := range batch {
 			if prior != nil && first+i < len(prior.Entries) {
 				if e := prior.Entries[first+i]; e.Plan.Key() == batch[i].Key() {
-					return RunResult{Plan: e.Plan, Sig: e.Sig, Verdict: e.Verdict}
+					results[i] = RunResult{Plan: e.Plan, Sig: e.Sig, Verdict: e.Verdict}
+					continue
 				}
 			}
-			return runPlan(w, cfg.Seed, batch[i], sp.Target, restart, traced)
-		})
+			missIdx = append(missIdx, i)
+		}
+		if len(missIdx) > 0 {
+			plans := make([]Plan, len(missIdx))
+			for j, i := range missIdx {
+				plans[j] = batch[i]
+			}
+			ran, err := exec.ExecuteBatch(ctx, plans)
+			if err != nil {
+				// The batch is abandoned whole: the result so far covers only
+				// complete batches, which keeps the corpus a valid resume
+				// point for a later ResumeWith.
+				res.NovelBehaviors = cor.NovelBehaviors()
+				return res, err
+			}
+			if len(ran) != len(plans) {
+				res.NovelBehaviors = cor.NovelBehaviors()
+				return res, fmt.Errorf("campaign: executor returned %d results for %d plans", len(ran), len(plans))
+			}
+			for j, i := range missIdx {
+				results[i] = ran[j]
+			}
+		}
 		for i := range results {
 			results[i].Novel = cor.add(results[i])
 			if results[i].Verdict == VerdictFailure {

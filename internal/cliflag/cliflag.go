@@ -1,0 +1,15 @@
+// Package cliflag centralizes flag definitions shared by the fcatch
+// command-line tools, so their semantics and help text cannot drift apart.
+package cliflag
+
+import "flag"
+
+// Parallelism registers the shared -parallelism flag on fs. The contract is
+// the same in every tool: 0 = GOMAXPROCS, 1 = sequential, and results are
+// byte-identical at any setting — parallelism is purely a throughput knob.
+// what names the unit of concurrency for the tool's help text ("runs",
+// "injection runs", ...).
+func Parallelism(fs *flag.FlagSet, what string) *int {
+	return fs.Int("parallelism", 0,
+		"concurrent "+what+" (0 = GOMAXPROCS, 1 = sequential; results identical at any setting)")
+}

@@ -9,6 +9,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -23,22 +24,41 @@ func Resolve(n int) int {
 	return n
 }
 
-// ForEach runs fn(i) for every i in [0, n) on at most `workers` goroutines
+// ForEach runs fn(i) for every i in [0, n) on at most `workers` goroutines.
+// It is ForEachCtx with a background context: every unit runs.
+func ForEach(workers, n int, fn func(i int)) {
+	_ = ForEachCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachCtx runs fn(i) for i in [0, n) on at most `workers` goroutines
 // (after Resolve). With one worker — or one unit of work — it runs inline on
 // the caller's goroutine, making the sequential path literally the same code
 // path the parity tests compare against. Work is handed out by an atomic
 // cursor, so workers stay busy regardless of per-item skew. A panic in fn is
 // re-raised on the caller after all workers drain.
-func ForEach(workers, n int, fn func(i int)) {
+//
+// Cancelling ctx stops new units from starting: units already in flight run
+// to completion (a sim.Cluster run cannot be interrupted mid-step), unstarted
+// indices are skipped, and the context's error is returned. A nil return
+// means every unit ran. This is the hook that lets a distributed
+// coordinator's drain — or a lease expiry — stop in-flight local work at the
+// next unit boundary instead of burning the rest of the batch.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int)) error {
 	workers = Resolve(workers)
 	if workers > n {
 		workers = n
 	}
+	done := ctx.Done()
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	var (
 		cursor    atomic.Int64
@@ -63,6 +83,11 @@ func ForEach(workers, n int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				i := int(cursor.Add(1)) - 1
 				if i >= n {
 					return
@@ -75,16 +100,25 @@ func ForEach(workers, n int, fn func(i int)) {
 	if panicked.Load() {
 		panic(panicVal)
 	}
+	return ctx.Err()
 }
 
 // Map runs fn over [0, n) with ForEach's scheduling and returns the results
 // in index order — the deterministic-collection contract in one call.
 func Map[T any](workers, n int, fn func(i int) T) []T {
+	out, _ := MapCtx(context.Background(), workers, n, fn)
+	return out
+}
+
+// MapCtx is Map with cancellation: on a cancelled context the returned error
+// is non-nil and the result slice is partial (unstarted slots hold zero
+// values), so callers must discard it rather than merge it.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) T) ([]T, error) {
 	out := make([]T, n)
-	ForEach(workers, n, func(i int) {
+	err := ForEachCtx(ctx, workers, n, func(i int) {
 		out[i] = fn(i)
 	})
-	return out
+	return out, err
 }
 
 // MapErr is Map for fallible work. Every unit still runs (workers do not
@@ -92,11 +126,20 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 // scheduling); the returned error is the lowest-index failure, so the error a
 // caller sees is the same one the sequential loop would have hit first.
 func MapErr[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapErrCtx(context.Background(), workers, n, fn)
+}
+
+// MapErrCtx is MapErr with cancellation. A context error takes precedence
+// over per-unit errors: it means the batch was abandoned, not that a unit
+// failed.
+func MapErrCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	errs := make([]error, n)
-	ForEach(workers, n, func(i int) {
+	if err := ForEachCtx(ctx, workers, n, func(i int) {
 		out[i], errs[i] = fn(i)
-	})
+	}); err != nil {
+		return out, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return out, err

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -85,6 +86,75 @@ func TestMapErrRunsEverything(t *testing.T) {
 	if ran.Load() != 40 {
 		t.Fatalf("ran %d/40 units despite early error", ran.Load())
 	}
+}
+
+func TestForEachCtxCancelStopsNewUnits(t *testing.T) {
+	// Cancel from inside unit 5: in-flight units finish, unstarted units are
+	// skipped, and the context error is surfaced. With one worker the order
+	// is sequential, so exactly 6 units (0..5) must have run.
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		err := ForEachCtx(ctx, workers, 10_000, func(i int) {
+			ran.Add(1)
+			if i == 5 {
+				cancel()
+			}
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if n := ran.Load(); n >= 10_000 {
+			t.Fatalf("workers=%d: cancellation did not stop the batch (%d units ran)", workers, n)
+		}
+		if workers == 1 && ran.Load() != 6 {
+			t.Fatalf("sequential cancel: %d units ran, want 6", ran.Load())
+		}
+		cancel()
+	}
+}
+
+func TestForEachCtxUncancelledMatchesForEach(t *testing.T) {
+	const n = 137
+	var counts [n]atomic.Int32
+	if err := ForEachCtx(context.Background(), 3, n, func(i int) { counts[i].Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if counts[i].Load() != 1 {
+			t.Fatalf("index %d ran %d times", i, counts[i].Load())
+		}
+	}
+}
+
+func TestMapCtxPartialOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before any unit starts
+	out, err := MapCtx(ctx, 2, 8, func(i int) int { return i + 1 })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	for i, v := range out {
+		if v != 0 {
+			t.Fatalf("slot %d = %d; no unit should have run", i, v)
+		}
+	}
+}
+
+func TestMapErrCtxContextErrorWins(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("boom")
+	_, err := MapErrCtx(ctx, 1, 10, func(i int) (int, error) {
+		if i == 2 {
+			cancel()
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want the context error to take precedence", err)
+	}
+	cancel()
 }
 
 func TestForEachPropagatesPanic(t *testing.T) {

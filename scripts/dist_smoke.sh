@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# dist_smoke.sh — end-to-end distributed campaign smoke test.
+#
+# Starts `fcatch-campaign -serve` as a coordinator, attaches two external
+# fcatch-worker processes, kills one of them mid-campaign, and asserts the
+# merged corpus is byte-identical to a single-process Parallelism=1 run.
+# Exercises the full wire protocol, lease reassignment after a worker death,
+# and the deterministic merge — from the shipped binaries, not the test
+# harness. Build with -race before calling for the CI configuration.
+#
+# Usage: scripts/dist_smoke.sh <fcatch-campaign-binary> <fcatch-worker-binary>
+set -euo pipefail
+
+CAMPAIGN=${1:?usage: dist_smoke.sh <fcatch-campaign> <fcatch-worker>}
+WORKER=${2:?usage: dist_smoke.sh <fcatch-campaign> <fcatch-worker>}
+WORKLOAD=${WORKLOAD:-MR1}
+RUNS=${RUNS:-600}
+SEED=${SEED:-7}
+ADDR=${ADDR:-127.0.0.1:9661}
+
+dir=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$dir"' EXIT
+
+echo "dist-smoke: baseline (single-process, parallelism=1)"
+"$CAMPAIGN" -workload "$WORKLOAD" -strategy random -runs "$RUNS" -seed "$SEED" \
+  -parallelism 1 -corpus "$dir/baseline.json" >/dev/null
+
+echo "dist-smoke: coordinator on $ADDR + 2 workers, one killed mid-campaign"
+"$CAMPAIGN" -workload "$WORKLOAD" -strategy random -runs "$RUNS" -seed "$SEED" \
+  -serve "$ADDR" -corpus "$dir/dist.json" >/dev/null 2>"$dir/serve.log" &
+serve_pid=$!
+
+"$WORKER" -addr "$ADDR" -name smoke-1 >/dev/null 2>&1 &
+w1_pid=$!
+"$WORKER" -addr "$ADDR" -name smoke-2 >/dev/null 2>&1 &
+w2_pid=$!
+
+# Let the campaign get underway, then kill one worker mid-lease. The
+# coordinator must reassign its outstanding lease to the survivor.
+sleep 1
+echo "dist-smoke: killing worker smoke-2 (pid $w2_pid)"
+kill -9 "$w2_pid" 2>/dev/null || true
+
+if ! wait "$serve_pid"; then
+  echo "dist-smoke: coordinator failed; log:" >&2
+  cat "$dir/serve.log" >&2
+  exit 1
+fi
+wait "$w1_pid" || true
+
+cmp "$dir/baseline.json" "$dir/dist.json" || {
+  echo "dist-smoke: FAIL — distributed corpus differs from single-process baseline" >&2
+  exit 1
+}
+grep -q 'requeueing lease' "$dir/serve.log" \
+  && echo "dist-smoke: lease reassignment observed"
+echo "dist-smoke: PASS — corpus byte-identical to baseline"
