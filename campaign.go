@@ -28,6 +28,15 @@ const (
 	StrategyCoverage   = campaign.StrategyCoverage
 )
 
+// Composite-scenario enumerator names (CampaignConfig.Scenarios).
+const (
+	ScenarioRecoveryCrash = campaign.ScenarioRecoveryCrash
+	ScenarioCrashDrop     = campaign.ScenarioCrashDrop
+)
+
+// CampaignScenarioNames lists every composite-scenario enumerator.
+func CampaignScenarioNames() []string { return campaign.ScenarioNames() }
+
 // Campaign runs a fault-injection campaign over the workload's fault space
 // with the configured search strategy. Identical (workload, seed, budget,
 // strategy) inputs produce an identical corpus at any Parallelism.

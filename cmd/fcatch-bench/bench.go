@@ -85,7 +85,8 @@ func runBenchSuite(seed int64, smoke bool) []benchEntry {
 				}
 			}
 		})
-		out = append(out, campaignThroughputEntries(seed, []string{"TOY"}, []int{1})...)
+		out = append(out, campaignThroughputEntries(seed, []string{"TOY"}, []int{1}, nil)...)
+		out = append(out, campaignThroughputEntries(seed, []string{"TOY"}, []int{1}, fcatch.CampaignScenarioNames())...)
 		out = append(out, distThroughputEntries(seed, []string{"TOY"}, []int{1, 2})...)
 		out = append(out, traceFormatEntries(seed, "TOY")...)
 		out = append(out, pipelineMemoryEntries(seed, true)...)
@@ -164,7 +165,8 @@ func runBenchSuite(seed int64, smoke bool) []benchEntry {
 	for _, w := range fcatch.Workloads() {
 		names = append(names, w.Name())
 	}
-	out = append(out, campaignThroughputEntries(seed, names, []int{1, 0})...)
+	out = append(out, campaignThroughputEntries(seed, names, []int{1, 0}, nil)...)
+	out = append(out, campaignThroughputEntries(seed, names, []int{1, 0}, fcatch.CampaignScenarioNames())...)
 	out = append(out, distThroughputEntries(seed, names, []int{1, 2, 4})...)
 
 	out = append(out, traceFormatEntries(seed, "MR1")...)
@@ -183,7 +185,9 @@ const campaignThroughputBudget = 40
 // settings (1 = sequential, 0 = GOMAXPROCS). This is the engine-level number
 // the simulator's scheduler and allocation work moves: each injection run is
 // one full simulated execution, so runs/sec tracks ns-per-simulated-run.
-func campaignThroughputEntries(seed int64, workloads []string, pars []int) []benchEntry {
+// A non-empty scenarios list turns on composite-scenario enumeration, so the
+// suite records the single-fault path and the scenario path side by side.
+func campaignThroughputEntries(seed int64, workloads []string, pars []int, scenarios []string) []benchEntry {
 	var out []benchEntry
 	for _, name := range workloads {
 		w := fcatch.MustWorkload(name)
@@ -191,6 +195,7 @@ func campaignThroughputEntries(seed int64, workloads []string, pars []int) []ben
 			cfg := fcatch.CampaignConfig{
 				Strategy: fcatch.StrategyCoverage, Seed: seed,
 				Budget: campaignThroughputBudget, Parallelism: par,
+				Scenarios: scenarios,
 			}
 			// One warm-up campaign pins the deterministic run count used to
 			// convert ns/op into runs/sec.
@@ -199,9 +204,13 @@ func campaignThroughputEntries(seed int64, workloads []string, pars []int) []ben
 				fmt.Fprintf(os.Stderr, "fcatch-bench: campaign %s: %v\n", name, err)
 				os.Exit(1)
 			}
-			entryName := fmt.Sprintf("campaign/%s/parallelism=%d/runs=%d", name, par, pre.Runs)
+			scen := ""
+			if len(scenarios) > 0 {
+				scen = "/scenarios=on"
+			}
+			entryName := fmt.Sprintf("campaign/%s%s/parallelism=%d/runs=%d", name, scen, par, pre.Runs)
 			if par == 0 {
-				entryName = fmt.Sprintf("campaign/%s/parallelism=max(%d)/runs=%d", name, runtime.GOMAXPROCS(0), pre.Runs)
+				entryName = fmt.Sprintf("campaign/%s%s/parallelism=max(%d)/runs=%d", name, scen, runtime.GOMAXPROCS(0), pre.Runs)
 			}
 			fmt.Fprintf(os.Stderr, "fcatch-bench: benchmarking %s...\n", entryName)
 			r := testing.Benchmark(func(b *testing.B) {

@@ -8,6 +8,7 @@
 //	fcatch-campaign -resume mr1.json -runs 800                 # continue it
 //	fcatch-campaign -diff a.json -diff2 b.json                 # compare finds
 //	fcatch-campaign -compare -runs 400                         # all workloads × all strategies
+//	fcatch-campaign -workload MR1 -runs 400 -scenarios crash+recovery-crash
 //	fcatch-campaign -workload MR1 -runs 4000 -workers 4        # distributed, in-process fleet
 //	fcatch-campaign -workload MR1 -runs 4000 -serve :9093      # distributed, external fcatch-workers
 package main
@@ -19,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"fcatch"
@@ -41,7 +43,10 @@ func main() {
 	serve := flag.String("serve", "", "distributed: listen on this host:port for fcatch-worker processes")
 	workers := flag.Int("workers", 0, "distributed: spawn this many in-process workers (usable with or without -serve)")
 	leaseSize := flag.Int("lease", 0, "distributed: plans per lease (0 = default; corpus identical at any setting)")
+	scenarioFlag := flag.String("scenarios", "", "comma-separated composite-scenario enumerators to append to the fault space: "+
+		strings.Join(fcatch.CampaignScenarioNames(), " | "))
 	flag.Parse()
+	scenarios := splitScenarios(*scenarioFlag)
 
 	switch {
 	case *diffA != "" || *diffB != "":
@@ -55,11 +60,22 @@ func main() {
 
 	case *serve != "" || *workers > 0:
 		runDistributed(*workload, *strategy, *runs, *seed, *parallelism, *batch,
-			*corpus, *resume, *serve, *workers, *leaseSize)
+			*corpus, *resume, *serve, *workers, *leaseSize, scenarios)
 
 	default:
-		runCampaign(*workload, *strategy, *runs, *seed, *parallelism, *batch, *corpus, *resume, *spaceTrace)
+		runCampaign(*workload, *strategy, *runs, *seed, *parallelism, *batch, *corpus, *resume, *spaceTrace, scenarios)
 	}
+}
+
+// splitScenarios parses the comma-separated -scenarios value.
+func splitScenarios(s string) []string {
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
 }
 
 // loadResume loads a prior corpus and pins the campaign identity from it
@@ -83,8 +99,11 @@ func loadResume(resume string, workload, strategy *string, seed *int64) *fcatch.
 // workers, and the merged corpus is byte-identical to a local run. SIGINT
 // drains gracefully: complete batches are kept, and with -corpus the partial
 // corpus is saved as a resume point.
-func runDistributed(workload, strategy string, runs int, seed int64, parallelism, batch int, corpusOut, resume, serve string, workers, leaseSize int) {
+func runDistributed(workload, strategy string, runs int, seed int64, parallelism, batch int, corpusOut, resume, serve string, workers, leaseSize int, scenarios []string) {
 	prior := loadResume(resume, &workload, &strategy, &seed)
+	if prior != nil && len(scenarios) == 0 {
+		scenarios = prior.Scenarios
+	}
 	if workload == "" {
 		fatal(fmt.Errorf("-workload is required (or -resume); see `fcatch list`"))
 	}
@@ -98,6 +117,7 @@ func runDistributed(workload, strategy string, runs int, seed int64, parallelism
 		Seed:      seed,
 		Budget:    runs,
 		BatchSize: batch,
+		Scenarios: scenarios,
 	}
 	opts := fcatch.DistOptions{
 		Addr:              serve,
@@ -138,8 +158,11 @@ func runDistributed(workload, strategy string, runs int, seed int64, parallelism
 	}
 }
 
-func runCampaign(workload, strategy string, runs int, seed int64, parallelism, batch int, corpusOut, resume, spaceTrace string) {
+func runCampaign(workload, strategy string, runs int, seed int64, parallelism, batch int, corpusOut, resume, spaceTrace string, scenarios []string) {
 	prior := loadResume(resume, &workload, &strategy, &seed)
+	if prior != nil && len(scenarios) == 0 {
+		scenarios = prior.Scenarios
+	}
 	if workload == "" {
 		fatal(fmt.Errorf("-workload is required (or -resume / -compare); see `fcatch list`"))
 	}
@@ -154,6 +177,7 @@ func runCampaign(workload, strategy string, runs int, seed int64, parallelism, b
 		Budget:      runs,
 		Parallelism: parallelism,
 		BatchSize:   batch,
+		Scenarios:   scenarios,
 	}
 	if spaceTrace != "" {
 		src, err := fcatch.OpenTrace(spaceTrace)

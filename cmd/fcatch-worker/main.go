@@ -8,7 +8,10 @@
 //
 // Workers are stateless and interchangeable: they can join late, be killed
 // mid-lease, or be restarted — the coordinator reassigns forfeited leases and
-// the final corpus is byte-identical regardless.
+// the final corpus is byte-identical regardless. Leases carry full fault
+// scenarios (including composite multi-fault plans from `-scenarios`
+// campaigns); the versioned handshake rejects a peer from a different
+// protocol generation rather than silently dropping scenario events.
 package main
 
 import (

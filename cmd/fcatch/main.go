@@ -54,6 +54,7 @@ func main() {
 	pid := fs.String("pid", "", "grep: process filter (exact, or prefix with trailing *)")
 	faulty := fs.Bool("faulty", false, "grep: search the faulty run instead of the fault-free one")
 	in := fs.String("in", "", "grep: stream a saved trace file instead of re-observing the workload")
+	scenario := fs.String("scenario", "", "faulty-run fault scenario, e.g. \"step=120,restart=40;delay=48\" (default: the workload's single crash)")
 	parallelism := cliflag.Parallelism(fs, "detect/trigger/random runs")
 	_ = fs.Parse(os.Args[2:])
 
@@ -83,6 +84,13 @@ func main() {
 		fatal(err)
 	}
 	opts := core.Options{Seed: *seed, Tracing: sim.TraceSelective, Parallelism: *parallelism}
+	if *scenario != "" {
+		sc, err := fcatch.ParseScenario(*scenario)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Scenario = sc
+	}
 	switch *phase {
 	case "begin":
 		opts.Phase = fcatch.PhaseBegin

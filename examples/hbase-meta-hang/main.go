@@ -39,7 +39,7 @@ func main() {
 		fmt.Printf("  W' = the RegionServer's OPENED update @ %s on %s\n", r.WPrime.Site, r.WPrime.PID)
 		fmt.Printf("\n  verdict: %s\n", out.Class)
 		fmt.Println("  fault types tried against W' (Section 8.4):")
-		for _, kind := range []string{"node-crash", "kernel-drop", "app-drop"} {
+		for _, kind := range fcatch.FaultActionNames() {
 			mark := "tolerated"
 			if out.ByAction[kind] {
 				mark = "TRIGGERS THE HANG"

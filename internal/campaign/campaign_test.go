@@ -58,31 +58,48 @@ func TestSymptomShapes(t *testing.T) {
 }
 
 func TestPlanKeyAndLowering(t *testing.T) {
-	step := Plan{CrashStep: 77}
+	step := Plan{FaultSpec: sim.FaultSpec{CrashStep: 77}}
 	if !step.IsStep() || step.Key() != "step:77" {
 		t.Fatalf("step plan key = %q", step.Key())
 	}
 	fp := step.simPlan("worker", map[string]int64{"worker": 40})
-	if fp.CrashAtStep != 77 || fp.CrashPID != "worker" || len(fp.RestartRoles) != 1 {
+	sc := fp.Scenario()
+	if len(sc) != 1 || sc[0].CrashStep != 77 || sc[0].Target != "worker" || len(fp.RestartRoles) != 1 {
 		t.Fatalf("step plan lowered wrong: %+v", fp)
 	}
 
-	site := Plan{Site: "a.go:10", Occurrence: 2, When: WhenAfter, Action: ActionKernelDrop}
+	site := Plan{FaultSpec: sim.FaultSpec{Site: "a.go:10", Occurrence: 2, When: WhenAfter, Action: ActionKernelDrop}}
 	if site.IsStep() || site.Key() != "site:a.go:10/2/after/kernel-drop" {
 		t.Fatalf("site plan key = %q", site.Key())
 	}
 	fp = site.simPlan("worker", map[string]int64{"worker": 40})
-	if fp.CrashAtStep != -1 || len(fp.Triggers) != 1 || fp.RestartRoles != nil {
+	sc = fp.Scenario()
+	if len(sc) != 1 || fp.RestartRoles != nil {
 		t.Fatalf("drop plan lowered wrong: %+v", fp)
 	}
-	tp := fp.Triggers[0]
-	if tp.Site != "a.go:10" || tp.Occurrence != 2 || tp.When != sim.After || tp.Action != sim.ActDropKernel {
-		t.Fatalf("trigger point wrong: %+v", tp)
+	if sc[0].Site != "a.go:10" || sc[0].Occurrence != 2 || sc[0].When != WhenAfter || sc[0].Action != ActionKernelDrop {
+		t.Fatalf("site event wrong: %+v", sc[0])
 	}
 
-	crash := Plan{Site: "a.go:10", Occurrence: 1, When: WhenBefore, Action: ActionNodeCrash}
+	crash := Plan{FaultSpec: sim.FaultSpec{Site: "a.go:10", Occurrence: 1, When: WhenBefore, Action: ActionNodeCrash}}
 	if fp := crash.simPlan("worker", map[string]int64{"worker": 40}); len(fp.RestartRoles) != 1 {
 		t.Fatal("crash plans must carry the restart map")
+	}
+
+	rd := int64(40)
+	comp := Plan{
+		FaultSpec: sim.FaultSpec{Site: "a.go:10", Occurrence: 1, When: WhenBefore, Action: ActionNodeCrash, Restart: &rd},
+		Then:      []sim.FaultSpec{{Delay: 48, Action: ActionNodeCrash}},
+	}
+	if comp.IsStep() {
+		t.Fatal("composite plan classified as step plan")
+	}
+	if comp.Key() != "site:a.go:10/1/before/node-crash/r=40+after:48" {
+		t.Fatalf("composite plan key = %q", comp.Key())
+	}
+	fp = comp.simPlan("worker", map[string]int64{"worker": 40})
+	if sc = fp.Scenario(); len(sc) != 2 || sc[1].Delay != 48 || sc[1].Target != "" {
+		t.Fatalf("composite plan lowered wrong: %+v", sc)
 	}
 }
 

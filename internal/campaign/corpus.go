@@ -27,15 +27,25 @@ type Entry struct {
 	Novel   bool      `json:"novel,omitempty"`
 }
 
+// CorpusVersion is the newest corpus schema this build writes and reads.
+// Version 0 (the field absent) is the pre-scenario schema: flat single-fault
+// plan objects. Version 2 adds scenario fields (then/target/delay/restart on
+// plans, the campaign's scenarios list); a corpus is stamped with it only
+// when it actually uses them, so single-fault corpora stay byte-identical
+// to — and loadable by — pre-scenario builds.
+const CorpusVersion = 2
+
 // Corpus is the persistent record of a campaign: every (plan, signature,
 // verdict) in run order, plus the campaign's identity. Saving and reloading
 // it lets a campaign stop, resume (the engine replays the cached prefix
 // instead of re-running it), and be diffed against another campaign.
 type Corpus struct {
-	Workload string  `json:"workload"`
-	Strategy string  `json:"strategy"`
-	Seed     int64   `json:"seed"`
-	Entries  []Entry `json:"entries"`
+	Version   int      `json:"version,omitempty"`
+	Workload  string   `json:"workload"`
+	Strategy  string   `json:"strategy"`
+	Seed      int64    `json:"seed"`
+	Scenarios []string `json:"scenarios,omitempty"`
+	Entries   []Entry  `json:"entries"`
 
 	seenBehavior map[string]bool
 }
@@ -92,8 +102,24 @@ func (c *Corpus) NovelBehaviors() int {
 	return n
 }
 
+// schemaVersion is the version a Save stamps: CorpusVersion when any
+// scenario feature is in use, 0 (omitted) otherwise.
+func (c *Corpus) schemaVersion() int {
+	if len(c.Scenarios) > 0 {
+		return CorpusVersion
+	}
+	for i := range c.Entries {
+		p := &c.Entries[i].Plan
+		if len(p.Then) > 0 || p.Target != "" || p.Delay != 0 || p.Restart != nil {
+			return CorpusVersion
+		}
+	}
+	return 0
+}
+
 // Save writes the corpus as indented JSON.
 func (c *Corpus) Save(path string) error {
+	c.Version = c.schemaVersion()
 	data, err := json.MarshalIndent(c, "", "  ")
 	if err != nil {
 		return err
@@ -101,7 +127,10 @@ func (c *Corpus) Save(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// LoadCorpus reads a corpus written by Save.
+// LoadCorpus reads a corpus written by Save, sniffing the schema version:
+// pre-scenario corpora (no version field) load unchanged, scenario corpora
+// load in full, and corpora from a newer schema are rejected instead of
+// being silently misread.
 func LoadCorpus(path string) (*Corpus, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -110,6 +139,10 @@ func LoadCorpus(path string) (*Corpus, error) {
 	c := &Corpus{}
 	if err := json.Unmarshal(data, c); err != nil {
 		return nil, fmt.Errorf("campaign: corpus %s: %w", path, err)
+	}
+	if c.Version > CorpusVersion {
+		return nil, fmt.Errorf("campaign: corpus %s has schema version %d, newer than this build's %d",
+			path, c.Version, CorpusVersion)
 	}
 	c.rebuild()
 	return c, nil

@@ -32,6 +32,11 @@ type Config struct {
 	BatchSize int
 	// MaxOccurrence caps per-site occurrences in the fault space (0 = 3).
 	MaxOccurrence int
+	// Scenarios names the composite-scenario enumerators (see ScenarioNames)
+	// appended to the fault space after the single-fault points. Empty keeps
+	// the space — and therefore every corpus byte — exactly as before.
+	// Requires a site strategy (the random baseline samples raw steps).
+	Scenarios []string
 	// SpaceTrace, when set, is a streaming source of a previously saved
 	// fault-free trace: site strategies enumerate the fault space from it
 	// (drained window by window, then closed) instead of re-simulating a
@@ -48,7 +53,50 @@ func (cfg Config) withDefaults() Config {
 	if cfg.Budget < 0 {
 		cfg.Budget = 0
 	}
+	cfg.Scenarios = normalizeScenarios(cfg.Scenarios)
 	return cfg
+}
+
+// normalizeScenarios drops empties and duplicates and puts known scenario
+// names in canonical order (unknown names survive, in input order, so
+// AppendScenarios can report them), making the corpus identity check
+// independent of flag spelling.
+func normalizeScenarios(names []string) []string {
+	if len(names) == 0 {
+		return nil
+	}
+	asked := map[string]bool{}
+	for _, n := range names {
+		if n != "" {
+			asked[n] = true
+		}
+	}
+	var out []string
+	for _, n := range ScenarioNames() {
+		if asked[n] {
+			out = append(out, n)
+			delete(asked, n)
+		}
+	}
+	for _, n := range names {
+		if asked[n] {
+			out = append(out, n)
+			delete(asked, n)
+		}
+	}
+	return out
+}
+
+func sameScenarios(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Result summarizes a finished campaign.
@@ -178,6 +226,10 @@ func ResumeWith(ctx context.Context, w core.Workload, cfg Config, prior *Corpus,
 			return nil, fmt.Errorf("campaign: corpus is from (%s, %s, seed %d), cannot resume as (%s, %s, seed %d)",
 				prior.Workload, prior.Strategy, prior.Seed, w.Name(), cfg.Strategy, cfg.Seed)
 		}
+		if !sameScenarios(prior.Scenarios, cfg.Scenarios) {
+			return nil, fmt.Errorf("campaign: corpus was run with scenarios %v, cannot resume with %v",
+				prior.Scenarios, cfg.Scenarios)
+		}
 	}
 
 	// Measure the fault-free execution once, untraced — the legacy
@@ -219,6 +271,15 @@ func ResumeWith(ctx context.Context, w core.Workload, cfg Config, prior *Corpus,
 	default:
 		sp = &Space{Target: w.CrashTarget(), BaseSteps: base.Steps}
 	}
+	if len(cfg.Scenarios) > 0 {
+		if !traced {
+			return nil, fmt.Errorf("campaign: -scenarios needs a site strategy (%s or %s), not %s",
+				StrategyExhaustive, StrategyCoverage, cfg.Strategy)
+		}
+		if err := sp.AppendScenarios(cfg.Scenarios, w.RestartRoles()); err != nil {
+			return nil, err
+		}
+	}
 	st.Init(sp, cfg.Seed, cfg.Budget)
 
 	if exec == nil {
@@ -226,6 +287,7 @@ func ResumeWith(ctx context.Context, w core.Workload, cfg Config, prior *Corpus,
 			restart: w.RestartRoles(), traced: traced, parallelism: cfg.Parallelism}
 	}
 	cor := NewCorpus(w.Name(), cfg.Strategy, cfg.Seed)
+	cor.Scenarios = cfg.Scenarios
 	res := &Result{Workload: w.Name(), Strategy: cfg.Strategy, Seed: cfg.Seed,
 		Failures: map[string]int{}, SpacePoints: len(sp.Points), Corpus: cor}
 

@@ -14,86 +14,108 @@ package campaign
 
 import (
 	"fmt"
+	"strings"
 
 	"fcatch/internal/sim"
 )
 
-// Plan action names (the JSON-stable forms of sim.TriggerAction).
+// Plan action and edge names — aliases of the simulator's JSON-stable fault
+// vocabulary, kept here so campaign code reads naturally. The table itself
+// lives in exactly one place: internal/sim.
 const (
-	ActionNodeCrash  = "node-crash"
-	ActionKernelDrop = "kernel-drop"
-	ActionAppDrop    = "app-drop"
+	ActionNodeCrash  = sim.ActionNodeCrash
+	ActionKernelDrop = sim.ActionKernelDrop
+	ActionAppDrop    = sim.ActionAppDrop
+
+	WhenBefore = sim.WhenBefore
+	WhenAfter  = sim.WhenAfter
 )
 
-// Plan when names (the JSON-stable forms of sim.TriggerWhen).
-const (
-	WhenBefore = "before"
-	WhenAfter  = "after"
-)
-
-// Plan is one candidate injection: either a step crash (the legacy baseline:
-// crash the workload's crash target when the logical clock reaches CrashStep)
-// or a site point (inject Action at the Occurrence-th execution of Site,
-// before or after the op's effect). Site points are what the fault-space
-// model enumerates; step plans exist so the `random` strategy reproduces the
-// Section 8.3 baseline byte for byte.
+// Plan is one candidate injection scenario. The embedded FaultSpec is the
+// first (and usually only) fault event — embedding keeps single-event plans
+// encoding to the exact flat JSON object pre-scenario corpora used. Then
+// holds the follow-up events of a composite scenario, in order.
+//
+// Single events come in two classic shapes: a step crash (the legacy
+// baseline: crash the workload's crash target when the logical clock
+// reaches CrashStep) or a site point (inject Action at the Occurrence-th
+// execution of Site, before or after the op's effect). Site points are what
+// the fault-space model enumerates; step plans exist so the `random`
+// strategy reproduces the Section 8.3 baseline byte for byte.
 type Plan struct {
-	// CrashStep, for step plans, is the logical-clock step at which the
-	// workload's crash target is killed.
-	CrashStep int64 `json:"crash_step,omitempty"`
+	sim.FaultSpec
 
-	// Site/Occurrence/When/Action describe a site-point injection.
-	Site       string `json:"site,omitempty"`
-	Occurrence int    `json:"occurrence,omitempty"`
-	When       string `json:"when,omitempty"`
-	Action     string `json:"action,omitempty"`
+	// Then are the scenario's follow-up events (empty for single-fault
+	// plans). A relative event (Delay > 0, no Site) fires Delay ticks
+	// after its predecessor and, with no Target, re-crashes the restarted
+	// incarnation of the previously crashed role.
+	Then []sim.FaultSpec `json:"then,omitempty"`
 }
 
 // IsStep reports whether this is a legacy step-crash plan.
-func (p Plan) IsStep() bool { return p.Site == "" }
+func (p Plan) IsStep() bool { return p.Site == "" && len(p.Then) == 0 && p.Delay == 0 }
+
+// Events returns the full scenario: the first event followed by Then.
+func (p Plan) Events() []sim.FaultSpec {
+	out := make([]sim.FaultSpec, 0, 1+len(p.Then))
+	out = append(out, p.FaultSpec)
+	return append(out, p.Then...)
+}
 
 // Key is the canonical identity of the plan, used for corpus resume checks.
+// Single-fault plans keep their historical keys ("step:N", "site:..."), so
+// pre-scenario corpora still match; scenario-only fields append suffixes and
+// composite events join with "+".
 func (p Plan) Key() string {
-	if p.IsStep() {
-		return fmt.Sprintf("step:%d", p.CrashStep)
+	var b strings.Builder
+	specKey(&b, p.FaultSpec)
+	for _, s := range p.Then {
+		b.WriteByte('+')
+		specKey(&b, s)
 	}
-	return fmt.Sprintf("site:%s/%d/%s/%s", p.Site, p.Occurrence, p.When, p.Action)
+	return b.String()
+}
+
+func specKey(b *strings.Builder, s sim.FaultSpec) {
+	switch {
+	case s.Site != "":
+		fmt.Fprintf(b, "site:%s/%d/%s/%s", s.Site, s.Occurrence, s.When, s.Action)
+	case s.Delay > 0:
+		fmt.Fprintf(b, "after:%d", s.Delay)
+	default:
+		fmt.Fprintf(b, "step:%d", s.CrashStep)
+	}
+	if s.Target != "" {
+		fmt.Fprintf(b, "/t=%s", s.Target)
+	}
+	if s.Restart != nil {
+		fmt.Fprintf(b, "/r=%d", *s.Restart)
+	}
 }
 
 func (p Plan) String() string { return p.Key() }
 
-func (p Plan) simWhen() sim.TriggerWhen {
-	if p.When == WhenAfter {
-		return sim.After
-	}
-	return sim.Before
-}
-
-func (p Plan) simAction() sim.TriggerAction {
-	switch p.Action {
-	case ActionKernelDrop:
-		return sim.ActDropKernel
-	case ActionAppDrop:
-		return sim.ActDropApp
-	}
-	return sim.ActCrashSelf
-}
-
-// simPlan lowers the plan to the simulator's fault-plan form. Crash plans
-// carry the workload's restart map (the operator restarts dead nodes, as in
-// the random baseline); drop plans leave nothing to restart.
+// simPlan lowers the plan to the simulator's fault-plan form. Step crashes
+// with no explicit target aim at the workload's crash target; scenarios
+// containing a node crash carry the workload's restart map (the operator
+// restarts dead nodes, as in the random baseline) while pure drop plans
+// leave nothing to restart.
 func (p Plan) simPlan(target string, restart map[string]int64) *sim.FaultPlan {
-	if p.IsStep() {
-		return sim.NewObservationPlan(target, p.CrashStep, restart)
+	specs := p.Events()
+	withRestart := false
+	for i := range specs {
+		s := &specs[i]
+		if s.Site == "" {
+			if s.Target == "" && s.Delay == 0 {
+				s.Target = target
+			}
+			withRestart = true
+		} else if s.Action == ActionNodeCrash {
+			withRestart = true
+		}
 	}
-	fp := &sim.FaultPlan{CrashAtStep: -1, Triggers: []sim.TriggerPoint{{
-		Site:       p.Site,
-		Occurrence: p.Occurrence,
-		When:       p.simWhen(),
-		Action:     p.simAction(),
-	}}}
-	if p.Action == ActionNodeCrash {
-		fp.RestartRoles = restart
+	if !withRestart {
+		restart = nil
 	}
-	return fp
+	return sim.NewScenarioPlan(specs, restart)
 }

@@ -1,0 +1,167 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fcatch/internal/apps/toy"
+	"fcatch/internal/sim"
+)
+
+// TestLegacyCorpusResume: a corpus written by the pre-scenario engine (flat
+// single-fault plan JSON, no version field) still loads, pins the campaign
+// identity, and resumes byte-identically with an uninterrupted run.
+func TestLegacyCorpusResume(t *testing.T) {
+	prior, err := LoadCorpus("testdata/legacy_v1.corpus.json")
+	if err != nil {
+		t.Fatalf("LoadCorpus: %v", err)
+	}
+	if prior.Version != 0 {
+		t.Fatalf("legacy corpus carries version %d, want 0", prior.Version)
+	}
+	if prior.Workload != "TOY" || prior.Strategy != StrategyCoverage || prior.Seed != 2 {
+		t.Fatalf("fixture identity drifted: %s/%s seed %d", prior.Workload, prior.Strategy, prior.Seed)
+	}
+	if len(prior.Entries) != 12 {
+		t.Fatalf("fixture has %d entries, want 12", len(prior.Entries))
+	}
+	for i, e := range prior.Entries {
+		if len(e.Plan.Then) != 0 {
+			t.Fatalf("fixture entry %d has composite events — not a legacy plan", i)
+		}
+	}
+
+	cfg := Config{Strategy: StrategyCoverage, Seed: 2, Budget: 30, Parallelism: 2}
+	resumed, err := Resume(toy.New(), cfg, prior)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	oneShot, err := Run(toy.New(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corpusJSON(t, resumed.Corpus) != corpusJSON(t, oneShot.Corpus) {
+		t.Fatal("resume from the legacy corpus diverges from an uninterrupted campaign")
+	}
+	// The cached prefix was replayed from the corpus, not re-simulated: the
+	// fixture's entries reappear verbatim.
+	for i, e := range prior.Entries {
+		got := resumed.Corpus.Entries[i]
+		if got.Plan.Key() != e.Plan.Key() || got.Verdict != e.Verdict {
+			t.Fatalf("entry %d not replayed from the legacy corpus", i)
+		}
+	}
+}
+
+// TestFutureCorpusVersionRejected: a corpus from a newer schema generation is
+// refused instead of being silently misread.
+func TestFutureCorpusVersionRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "future.json")
+	body := `{"version": 99, "workload": "TOY", "strategy": "coverage-guided", "seed": 1}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCorpus(path); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future-version corpus accepted: err = %v", err)
+	}
+}
+
+// TestScenarioSpaceAppends: composite enumerators strictly extend the
+// single-fault space (the scenarios-off space is an exact prefix, so every
+// legacy plan keeps its index), and unknown enumerator names are rejected
+// with the valid vocabulary.
+func TestScenarioSpaceAppends(t *testing.T) {
+	w := toy.New()
+	c, steps := tracedFaultFree(t, w)
+
+	base := NewSpace(c.Trace(), steps, w.CrashTarget(), 0)
+	sp := NewSpace(c.Trace(), steps, w.CrashTarget(), 0)
+	if err := sp.AppendScenarios(ScenarioNames(), w.RestartRoles()); err != nil {
+		t.Fatalf("AppendScenarios: %v", err)
+	}
+	if len(sp.Points) <= len(base.Points) {
+		t.Fatalf("scenario enumeration added nothing: %d -> %d points", len(base.Points), len(sp.Points))
+	}
+	for i, p := range base.Points {
+		if sp.Points[i].Key() != p.Key() {
+			t.Fatalf("point %d changed: %q vs %q — single-fault space must be a prefix", i, sp.Points[i].Key(), p.Key())
+		}
+	}
+	seen := map[string]bool{}
+	for _, p := range sp.Points {
+		k := p.Key()
+		if seen[k] {
+			t.Fatalf("duplicate plan key %q", k)
+		}
+		seen[k] = true
+	}
+
+	if err := sp.AppendScenarios([]string{"crash+meteor"}, nil); err == nil ||
+		!strings.Contains(err.Error(), ScenarioRecoveryCrash) {
+		t.Fatalf("unknown scenario name accepted: err = %v", err)
+	}
+}
+
+// TestRecoveryCrashScenarioFires: a crash+recovery-crash plan injects both
+// crashes — the second landing on the victim's restarted incarnation — which
+// no single-fault plan can do.
+func TestRecoveryCrashScenarioFires(t *testing.T) {
+	w := toy.New()
+	c, steps := tracedFaultFree(t, w)
+	sp := NewSpace(c.Trace(), steps, w.CrashTarget(), 0)
+	before := len(sp.Points)
+	if err := sp.AppendScenarios([]string{ScenarioRecoveryCrash}, w.RestartRoles()); err != nil {
+		t.Fatal(err)
+	}
+
+	fired := false
+	for _, p := range sp.Points[before:] {
+		fp := p.simPlan(sp.Target, w.RestartRoles())
+		rcfg := sim.Config{Seed: 1, Tracing: sim.TraceOff, Plan: fp}
+		w.Tune(&rcfg)
+		cl := sim.NewCluster(rcfg)
+		w.Configure(cl)
+		cl.Run()
+
+		pids := fp.InjectedCrashPIDs()
+		if len(pids) < 2 {
+			continue // the first crash can land where no restart follows
+		}
+		fired = true
+		if pids[0] == pids[1] {
+			t.Fatalf("second crash hit the same incarnation: %v", pids)
+		}
+		if roleOnly(pids[0]) != roleOnly(pids[1]) {
+			t.Fatalf("second crash hit a different role: %v", pids)
+		}
+	}
+	if !fired {
+		t.Fatal("no recovery-crash plan ever fired its second crash")
+	}
+}
+
+// TestScenarioConfigGating: the engine refuses scenario enumeration with a
+// strategy that never enumerates the site space, and refuses to resume a
+// corpus under a different scenario set.
+func TestScenarioConfigGating(t *testing.T) {
+	if _, err := Run(toy.New(), Config{Strategy: StrategyRandom, Seed: 1, Budget: 4,
+		Scenarios: []string{ScenarioRecoveryCrash}}); err == nil {
+		t.Fatal("random strategy accepted -scenarios")
+	}
+
+	cfg := Config{Strategy: StrategyCoverage, Seed: 7, Budget: 10, Parallelism: 1,
+		Scenarios: []string{ScenarioRecoveryCrash}}
+	res, err := Run(toy.New(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameScenarios(res.Corpus.Scenarios, cfg.Scenarios) {
+		t.Fatalf("corpus did not record the scenario set: %v", res.Corpus.Scenarios)
+	}
+	cfg.Scenarios = nil
+	if _, err := Resume(toy.New(), cfg, res.Corpus); err == nil {
+		t.Fatal("resume with a different scenario set should fail")
+	}
+}

@@ -1,8 +1,11 @@
 package campaign
 
 import (
+	"fmt"
 	"io"
+	"strings"
 
+	"fcatch/internal/sim"
 	"fcatch/internal/trace"
 )
 
@@ -144,19 +147,24 @@ func (f *spaceFold) finish(maxOcc int) *Space {
 				continue
 			}
 			sp.Points = append(sp.Points,
-				Plan{Site: si.Site, Occurrence: occ, When: WhenBefore, Action: ActionNodeCrash},
-				Plan{Site: si.Site, Occurrence: occ, When: WhenAfter, Action: ActionNodeCrash})
+				sitePoint(si.Site, occ, WhenBefore, ActionNodeCrash),
+				sitePoint(si.Site, occ, WhenAfter, ActionNodeCrash))
 			if si.Sendable {
 				sp.Points = append(sp.Points,
-					Plan{Site: si.Site, Occurrence: occ, When: WhenBefore, Action: ActionKernelDrop})
+					sitePoint(si.Site, occ, WhenBefore, ActionKernelDrop))
 			}
 			if si.Droppable {
 				sp.Points = append(sp.Points,
-					Plan{Site: si.Site, Occurrence: occ, When: WhenBefore, Action: ActionAppDrop})
+					sitePoint(si.Site, occ, WhenBefore, ActionAppDrop))
 			}
 		}
 	}
 	return sp
+}
+
+// sitePoint builds a single-event site-anchored candidate plan.
+func sitePoint(site string, occ int, when, action string) Plan {
+	return Plan{FaultSpec: sim.FaultSpec{Site: site, Occurrence: occ, When: when, Action: action}}
 }
 
 // SiteOrdinal returns the first-execution rank of a site (-1 if unknown),
@@ -166,4 +174,83 @@ func (sp *Space) SiteOrdinal(site string) int {
 		return ord
 	}
 	return -1
+}
+
+// Composite-scenario names accepted by Config.Scenarios / AppendScenarios.
+const (
+	// ScenarioRecoveryCrash chains a node crash with a second crash landing
+	// inside the first victim's recovery window: the crashed role is
+	// restarted (per-event restart override, so even roles outside the
+	// workload's restart map recover) and its fresh incarnation is crashed
+	// again shortly after it comes back.
+	ScenarioRecoveryCrash = "crash+recovery-crash"
+	// ScenarioCrashDrop chains a node crash with a kernel-level drop of the
+	// next sendable site, so the surviving nodes both lose a peer and a
+	// message while coping with the loss.
+	ScenarioCrashDrop = "crash+drop"
+)
+
+// ScenarioNames lists the composite-scenario enumerators in canonical order.
+func ScenarioNames() []string { return []string{ScenarioRecoveryCrash, ScenarioCrashDrop} }
+
+// recoveryCrashGap is how long after the first victim's restart delay the
+// follow-up crash lands — far enough in for recovery to be underway, close
+// enough to hit its window.
+const recoveryCrashGap = 8
+
+// AppendScenarios appends composite-scenario candidate plans to the space,
+// after the single-fault points (so a scenarios-off campaign's space is an
+// exact prefix and its corpus is untouched). restart is the workload's
+// restart map; the recovery-crash scenario derives its timing from the
+// slowest mapped restart (default 40 ticks when the map is empty).
+func (sp *Space) AppendScenarios(names []string, restart map[string]int64) error {
+	want := map[string]bool{}
+	for _, n := range names {
+		switch n {
+		case ScenarioRecoveryCrash, ScenarioCrashDrop:
+			want[n] = true
+		case "":
+		default:
+			return fmt.Errorf("campaign: unknown scenario %q (have %s)",
+				n, strings.Join(ScenarioNames(), ", "))
+		}
+	}
+	if want[ScenarioRecoveryCrash] {
+		restartDelay := int64(40)
+		for _, d := range restart {
+			if d > restartDelay {
+				restartDelay = d
+			}
+		}
+		gap := restartDelay + recoveryCrashGap
+		for _, si := range sp.Sites {
+			rd := restartDelay
+			sp.Points = append(sp.Points, Plan{
+				FaultSpec: sim.FaultSpec{Site: si.Site, Occurrence: 1, When: WhenBefore,
+					Action: ActionNodeCrash, Restart: &rd},
+				Then: []sim.FaultSpec{{Delay: gap, Action: ActionNodeCrash}},
+			})
+		}
+	}
+	if want[ScenarioCrashDrop] {
+		for i, si := range sp.Sites {
+			drop := ""
+			for j := i + 1; j < len(sp.Sites); j++ {
+				if sp.Sites[j].Sendable {
+					drop = sp.Sites[j].Site
+					break
+				}
+			}
+			if drop == "" {
+				continue
+			}
+			sp.Points = append(sp.Points, Plan{
+				FaultSpec: sim.FaultSpec{Site: si.Site, Occurrence: 1, When: WhenBefore,
+					Action: ActionNodeCrash},
+				Then: []sim.FaultSpec{{Site: drop, Occurrence: 1, When: WhenBefore,
+					Action: ActionKernelDrop}},
+			})
+		}
+	}
+	return nil
 }

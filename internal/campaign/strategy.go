@@ -3,6 +3,8 @@ package campaign
 import (
 	"fmt"
 	"math/rand"
+
+	"fcatch/internal/sim"
 )
 
 // Strategy names accepted by Config.Strategy / NewStrategy.
@@ -87,7 +89,7 @@ func (s *randomStrategy) NextBatch(max int) []Plan {
 	}
 	batch := make([]Plan, n)
 	for i := range batch {
-		batch[i] = Plan{CrashStep: s.steps[s.next+i]}
+		batch[i] = Plan{FaultSpec: sim.FaultSpec{CrashStep: s.steps[s.next+i]}}
 	}
 	s.next += n
 	return batch

@@ -89,6 +89,12 @@ type Options struct {
 	Tracing sim.TracingMode // TraceSelective unless running the §8.2 ablation
 	// MeasureBaseline additionally times untraced runs (Table 4).
 	MeasureBaseline bool
+	// Scenario is the fault scenario observation runs inject. Empty means
+	// the default provider: a one-event crash of the workload's
+	// CrashTarget() at the phase-chosen step. Step-anchored crash events
+	// with CrashStep 0 inherit that step too (and are re-nudged on retry);
+	// events with an empty Target aim at the workload's crash target.
+	Scenario []sim.FaultSpec
 	// Detect toggles the fault-tolerance pruning analyses (ablations only).
 	Detect detect.Options
 	// Parallelism bounds the worker pool everywhere the pipeline fans out:
@@ -135,7 +141,30 @@ type Observation struct {
 	FaultFreeOutcome *sim.Outcome
 	FaultyOutcome    *sim.Outcome
 	CrashStep        int64
-	Timings          Timings
+	// CrashedPIDs are the processes the scenario crashed, in injection
+	// order (the detectors' notion of "the crashed node(s)").
+	CrashedPIDs []string
+	Timings     Timings
+}
+
+// scenarioPlan lowers the observation scenario for one faulty attempt:
+// step-anchored crash events with no explicit step inherit the phase-chosen
+// (and, on retry, nudged) step, and empty targets default to the workload's
+// crash target.
+func scenarioPlan(w Workload, scenario []sim.FaultSpec, step int64) *sim.FaultPlan {
+	specs := append([]sim.FaultSpec(nil), scenario...)
+	for i := range specs {
+		s := &specs[i]
+		if s.Site == "" && s.Delay == 0 {
+			if s.CrashStep == 0 {
+				s.CrashStep = step
+			}
+			if s.Target == "" {
+				s.Target = w.CrashTarget()
+			}
+		}
+	}
+	return sim.NewScenarioPlan(specs, w.RestartRoles())
 }
 
 // runOnce builds a cluster for w and runs it. A non-nil win hook receives
@@ -234,11 +263,18 @@ func observe(w Workload, opts Options, withGraphs bool) (*Observation, *hb.Graph
 		}
 	}
 
+	// The scenario to inject: the plan is the source of truth, with
+	// Workload.CrashTarget() as the default provider.
+	scenario := opts.Scenario
+	if len(scenario) == 0 {
+		scenario = []sim.FaultSpec{{Action: sim.ActionNodeCrash, Target: w.CrashTarget()}}
+	}
+
 	total := outF.Steps
 	step := int64(float64(total) * opts.Phase.fraction())
 	var lastErr error
 	for attempt := 0; attempt < 8; attempt++ {
-		plan := sim.NewObservationPlan(w.CrashTarget(), step, w.RestartRoles())
+		plan := scenarioPlan(w, scenario, step)
 		// Unlike the fault-free run, a faulty attempt can fail its
 		// correctness check and be retried (HB2 deterministically retries
 		// twice), so streaming records into a builder during the run would
@@ -259,7 +295,7 @@ func observe(w Workload, opts Options, withGraphs bool) (*Observation, *hb.Graph
 			gy = by.Finish()
 		}
 		if opts.MeasureBaseline {
-			basePlan := sim.NewObservationPlan(w.CrashTarget(), step, w.RestartRoles())
+			basePlan := scenarioPlan(w, scenario, step)
 			_, outB := runOnce(w, opts.Seed, sim.TraceOff, basePlan, nil)
 			obs.Timings.BaselineFaulty = outB.Elapsed
 		}
@@ -267,6 +303,7 @@ func observe(w Workload, opts Options, withGraphs bool) (*Observation, *hb.Graph
 		obs.FaultyOutcome = outY
 		obs.Timings.TracingFaulty = outY.Elapsed
 		obs.CrashStep = cy.Trace().CrashStep
+		obs.CrashedPIDs = plan.InjectedCrashPIDs()
 		if withGraphs {
 			// Table 4 attribution: the faulty index build ran entirely after
 			// the run (above), so it is pure analysis time — nothing needs
@@ -314,13 +351,19 @@ func Detect(w Workload, opts Options) (*Result, error) {
 	// for indexing) and is pure analysis time. The stage timings therefore
 	// stay disjoint and sum to within the measured wall clock, and "Overall"
 	// keeps the paper's serial accounting of the same work.
+	// The detectors learn the crashed node(s) from the scenario's actual
+	// victims, not from the workload interface.
+	dopts := opts.Detect
+	if len(dopts.CrashedPIDs) == 0 {
+		dopts.CrashedPIDs = obs.CrashedPIDs
+	}
 	parallel.ForEach(opts.Parallelism, 2, func(i int) {
 		t0 := time.Now()
 		if i == 0 {
-			res.Regular = detect.DetectRegularOpts(gf, w.Name(), opts.Detect)
+			res.Regular = detect.DetectRegularOpts(gf, w.Name(), dopts)
 			obs.Timings.AnalysisRegular += time.Since(t0)
 		} else {
-			res.Recovery = detect.DetectRecoveryOpts(gf, gy, w.Name(), opts.Detect)
+			res.Recovery = detect.DetectRecoveryOpts(gf, gy, w.Name(), dopts)
 			obs.Timings.AnalysisRecovery += time.Since(t0)
 		}
 	})

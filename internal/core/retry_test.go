@@ -1,0 +1,79 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"fcatch/internal/apps/toy"
+	"fcatch/internal/core"
+	"fcatch/internal/sim"
+)
+
+// flakyFirstFaulty wraps a workload so its first faulty attempt fails the
+// correctness check, forcing observe's retry path. Tune records, per run,
+// the requested crash step and whether a trace-window hook was attached.
+type flakyFirstFaulty struct {
+	core.Workload
+	checks        int
+	faultySteps   []int64 // requested CrashStep of each faulty attempt
+	faultyWindows int     // faulty runs that had OnTraceWindow set
+	freeWindows   int     // fault-free runs that had OnTraceWindow set
+}
+
+func (f *flakyFirstFaulty) Tune(cfg *sim.Config) {
+	f.Workload.Tune(cfg)
+	if cfg.Plan != nil {
+		f.faultySteps = append(f.faultySteps, cfg.Plan.Scenario()[0].CrashStep)
+		if cfg.OnTraceWindow != nil {
+			f.faultyWindows++
+		}
+	} else if cfg.OnTraceWindow != nil {
+		f.freeWindows++
+	}
+}
+
+func (f *flakyFirstFaulty) Check(c *sim.Cluster, out *sim.Outcome) error {
+	f.checks++
+	if f.checks == 2 { // check #1 is the fault-free run
+		return errors.New("synthetic first-attempt failure")
+	}
+	return f.Workload.Check(c, out)
+}
+
+// TestObserveRetryNudgesCrashStep pins the retry loop's contract: a faulty
+// attempt that fails its correctness check is retried at a nudged crash
+// step, and faulty attempts never stream trace windows — so retries that get
+// thrown away never pay for happens-before graph indexing (only the fault-
+// free run builds its graph during execution).
+func TestObserveRetryNudgesCrashStep(t *testing.T) {
+	w := &flakyFirstFaulty{Workload: toy.New()}
+	obs, gf, gy, err := core.ObserveIndexed(w, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("ObserveIndexed: %v", err)
+	}
+	if gf == nil || gy == nil {
+		t.Fatal("missing happens-before graphs")
+	}
+
+	total := obs.FaultFreeOutcome.Steps
+	step0 := int64(float64(total) * 0.12) // PhaseBegin's fraction
+	want := []int64{step0, step0 + total/23 + 7}
+	if len(w.faultySteps) != len(want) {
+		t.Fatalf("faulty attempts = %d (%v), want %d", len(w.faultySteps), w.faultySteps, len(want))
+	}
+	for i, s := range want {
+		if w.faultySteps[i] != s {
+			t.Fatalf("attempt %d requested step %d, want %d (nudge broken)", i, w.faultySteps[i], s)
+		}
+	}
+
+	if w.freeWindows != 1 {
+		t.Fatalf("fault-free run streamed %d window hooks, want 1", w.freeWindows)
+	}
+	if w.faultyWindows != 0 {
+		t.Fatalf("%d faulty attempt(s) had a window hook — failed attempts would pay for indexing", w.faultyWindows)
+	}
+	if len(obs.CrashedPIDs) == 0 {
+		t.Fatal("observation recorded no crashed PIDs")
+	}
+}

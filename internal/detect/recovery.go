@@ -36,10 +36,14 @@ const (
 )
 
 // classifyRes walks a trace's symbol table once and returns the dense per-Sym
-// classification slice.
-func classifyRes(t *trace.Trace, crashed string) []uint8 {
+// classification slice. Every victim's heap dies with its node, so
+// multi-crash scenarios skip all of them.
+func classifyRes(t *trace.Trace, victims []string) []uint8 {
 	out := make([]uint8, t.NumSyms())
-	crashedHeap := "heap:" + crashed + ":"
+	heaps := make([]string, len(victims))
+	for i, pid := range victims {
+		heaps[i] = "heap:" + pid + ":"
+	}
 	for y := 1; y < t.NumSyms(); y++ {
 		s := t.Str(trace.Sym(y))
 		switch {
@@ -47,8 +51,11 @@ func classifyRes(t *trace.Trace, crashed string) []uint8 {
 			out[y] = resSkip
 		case strings.HasPrefix(s, "heap:"):
 			out[y] = resHeap
-			if strings.HasPrefix(s, crashedHeap) {
-				out[y] |= resSkip // heap content dies with the node
+			for _, h := range heaps {
+				if strings.HasPrefix(s, h) {
+					out[y] |= resSkip // heap content dies with the node
+					break
+				}
 			}
 		case strings.HasPrefix(s, "gfs:") || strings.HasPrefix(s, "lfs:") || strings.HasPrefix(s, "zk:"):
 			out[y] = resPersistent
@@ -89,11 +96,19 @@ func DetectRecoveryOpts(gf, gy *hb.Graph, workload string, opts Options) *Recove
 	crashedRole := roleOf(crashed)
 	ixF, ixY := gf.Ix, gy.Ix
 
+	// The scenario tells us every injected victim; the trace's first
+	// recorded crash remains the recovery anchor and the fallback when no
+	// scenario information is supplied.
+	victims := opts.CrashedPIDs
+	if len(victims) == 0 {
+		victims = []string{crashed}
+	}
+
 	// Symbols are trace-local: classify each trace's resources once, and
 	// translate faulty-run Syms to fault-free Syms where the pair loops
 	// compare across traces.
-	classY := classifyRes(ty, crashed)
-	classF := classifyRes(tf, crashed)
+	classY := classifyRes(ty, victims)
+	classF := classifyRes(tf, victims)
 	mYF := ty.SymMapTo(tf)
 	createY, _ := ty.Lookup("create")
 
@@ -150,9 +165,9 @@ func DetectRecoveryOpts(gf, gy *hb.Graph, workload string, opts Options) *Recove
 	// write's site/PID are translated to faulty-run Syms once here, so the
 	// pair loop compares integers.
 	type crashWrite struct {
-		r            *trace.Record
-		siteY, pidY  trace.Sym // w.Site/w.PID in ty's table
-		siteOK, pidOK bool     // false: the string never appears in ty
+		r             *trace.Record
+		siteY, pidY   trace.Sym // w.Site/w.PID in ty's table
+		siteOK, pidOK bool      // false: the string never appears in ty
 	}
 	crashWrites := make([][]crashWrite, tf.NumSyms()) // indexed by tf res Sym
 	addCrashWrite := func(r *trace.Record) {

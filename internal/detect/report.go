@@ -116,6 +116,11 @@ type Options struct {
 	// DisableImpactPruning keeps reads with no failure-prone impact
 	// (Section 4.3.3).
 	DisableImpactPruning bool
+	// CrashedPIDs are the scenario's injected crash victims, in injection
+	// order. The recovery detector marks every victim's heap as dying with
+	// its node; empty falls back to the trace's first recorded crash (the
+	// single-fault behaviour).
+	CrashedPIDs []string
 }
 
 // PruneCounters tallies how many candidates each fault-tolerance analysis

@@ -16,6 +16,7 @@ import (
 	"fcatch/internal/apps/toy"
 	"fcatch/internal/campaign"
 	"fcatch/internal/core"
+	"fcatch/internal/sim"
 )
 
 // testOptions returns coordinator options tuned for fast failure handling in
@@ -55,11 +56,12 @@ func TestFrameRoundTrip(t *testing.T) {
 		{Type: msgHello, Proto: ProtoVersion, Worker: "w1"},
 		{Type: msgConfig, Workload: "TOY", Strategy: "coverage-guided", Seed: 7, Traced: true, HeartbeatMS: 250},
 		{Type: msgLease, Lease: 42, Plans: []campaign.Plan{
-			{CrashStep: 9},
-			{Site: "a.go:10", Occurrence: 2, When: "after", Action: "kernel-drop"},
+			{FaultSpec: sim.FaultSpec{CrashStep: 9}},
+			{FaultSpec: sim.FaultSpec{Site: "a.go:10", Occurrence: 2, When: "after", Action: "kernel-drop"},
+				Then: []sim.FaultSpec{{Delay: 48, Action: "node-crash"}}},
 		}},
 		{Type: msgResult, Lease: 42, Results: []campaign.RunResult{
-			{Plan: campaign.Plan{CrashStep: 9},
+			{Plan: campaign.Plan{FaultSpec: sim.FaultSpec{CrashStep: 9}},
 				Sig:     campaign.Signature{Outcome: "hang", Symptom: "hang:x", Coverage: 0xdeadbeefcafe0123},
 				Verdict: campaign.VerdictFailure},
 		}},

@@ -77,8 +77,8 @@ func (tg *Triggerer) Trigger(rep *detect.Report) *Outcome {
 	out := &Outcome{Report: rep, Class: Benign, ByAction: map[string]bool{}}
 
 	type attempt struct {
-		action  sim.TriggerAction
-		point   sim.TriggerPoint
+		action  string
+		event   sim.FaultSpec
 		restart bool
 	}
 	var attempts []attempt
@@ -87,11 +87,11 @@ func (tg *Triggerer) Trigger(rep *detect.Report) *Outcome {
 		if wp == nil {
 			return out
 		}
-		for _, act := range []sim.TriggerAction{sim.ActCrashSelf, sim.ActDropKernel, sim.ActDropApp} {
+		for _, act := range sim.ActionNames() {
 			attempts = append(attempts, attempt{
 				action: act,
-				point: sim.TriggerPoint{
-					Site: wp.Site, Occurrence: wp.Occurrence, When: sim.Before, Action: act,
+				event: sim.FaultSpec{
+					Site: wp.Site, Occurrence: wp.Occurrence, When: sim.WhenBefore, Action: act,
 				},
 				// The paper emulates the crash with Runtime.halt(-1): the
 				// victim stays down; the remaining nodes must cope.
@@ -99,25 +99,26 @@ func (tg *Triggerer) Trigger(rep *detect.Report) *Outcome {
 			})
 		}
 	} else {
-		when := sim.After
+		when := sim.WhenAfter
 		if rep.WInFaultyRun {
-			when = sim.Before
+			when = sim.WhenBefore
 		}
 		attempts = append(attempts, attempt{
-			action: sim.ActCrashSelf,
-			point: sim.TriggerPoint{
+			action: sim.ActionNodeCrash,
+			event: sim.FaultSpec{
 				Site: rep.W.Site, Occurrence: rep.W.Occurrence, When: when,
-				Action: sim.ActCrashSelf, CrashTarget: rep.CrashTargetRole,
+				Action: sim.ActionNodeCrash, Target: rep.CrashTargetRole,
 			},
 			restart: true,
 		})
 	}
 
 	for _, at := range attempts {
-		plan := &sim.FaultPlan{CrashAtStep: -1, Triggers: []sim.TriggerPoint{at.point}}
+		var restart map[string]int64
 		if at.restart {
-			plan.RestartRoles = tg.W.RestartRoles()
+			restart = tg.W.RestartRoles()
 		}
+		plan := sim.NewScenarioPlan([]sim.FaultSpec{at.event}, restart)
 		// Replays stream their records through the handled-exception fold and
 		// discard them: classification needs only the fold's verdict, so a
 		// replay's memory stays O(batch + symbol tables).
@@ -129,7 +130,7 @@ func (tg *Triggerer) Trigger(rep *detect.Report) *Outcome {
 		tg.W.Configure(c)
 		runOut := c.Run()
 		cls, kind, detail := tg.classify(c, runOut, fold)
-		out.ByAction[at.action.String()] = cls == TrueBug
+		out.ByAction[at.action] = cls == TrueBug
 		// The strongest verdict across fault types wins (TrueBug < Expected
 		// < Benign in severity order).
 		if cls < out.Class {

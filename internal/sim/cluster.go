@@ -87,15 +87,15 @@ type Cluster struct {
 
 	// Direct-handoff scheduler state: the baton moves thread-to-thread, with
 	// mainSem parking the Run goroutine while the workload executes.
-	mainSem      chan struct{}
-	curThread    *Thread
-	runScratch   []*Thread // reusable runnable-scan buffer
-	liveNonDaemon int      // non-daemon threads still alive (workloadDone is O(1))
-	killPendingN  int      // threads awaiting the kill reaper
-	fnTimers      int      // armed scheduler-callback timers
-	deadThreads   int      // finished threads still on the scan list
-	reaping       bool     // inside the kill-reap scan (mirrors the old processKills loop)
-	tearingDown   bool     // Run teardown: batons return straight to main
+	mainSem       chan struct{}
+	curThread     *Thread
+	runScratch    []*Thread // reusable runnable-scan buffer
+	liveNonDaemon int       // non-daemon threads still alive (workloadDone is O(1))
+	killPendingN  int       // threads awaiting the kill reaper
+	fnTimers      int       // armed scheduler-callback timers
+	deadThreads   int       // finished threads still on the scan list
+	reaping       bool      // inside the kill-reap scan (mirrors the old processKills loop)
+	tearingDown   bool      // Run teardown: batons return straight to main
 
 	// Role identities are interned to dense indices at first boot, so service
 	// resolution, incarnation counting and restart bookkeeping index slices
@@ -113,8 +113,8 @@ type Cluster struct {
 	// compare SiteIDs; strings are rendered only at the boundary.
 	siteIdx    map[string]SiteID
 	siteStrs   []string
-	siteSyms   []trace.Sym // SiteID -> trace Sym (0 = not yet interned there)
-	siteCounts []int32     // SiteID -> occurrences, for trigger points
+	siteSyms   []trace.Sym        // SiteID -> trace Sym (0 = not yet interned there)
+	siteCounts []int32            // SiteID -> occurrences, for trigger points
 	siteCache  map[uintptr]SiteID // PC -> SiteID (NoSite = substrate frame)
 
 	// Pre-interned fixed sites (pseudo-sites that are not source positions).
@@ -124,9 +124,9 @@ type Cluster struct {
 	siteRPCReplySig   SiteID
 	siteRPCReplySend  SiteID
 
-	tracer      *tracer
-	out         Outcome
-	facts       map[string]any
+	tracer *tracer
+	out    Outcome
+	facts  map[string]any
 
 	crashHooks     []func(pid string)
 	convictSubs    map[string][]string // watched role -> subscriber PIDs (verb "convict")
@@ -164,9 +164,7 @@ func NewCluster(cfg Config) *Cluster {
 	c.siteRPCReplySend = c.internSite(SiteRPCReplySend)
 	c.tracer = newTracer(c)
 	if p := c.pendingPlan; p != nil {
-		for i := range p.Triggers {
-			p.Triggers[i].siteID = c.internSite(p.Triggers[i].Site)
-		}
+		c.preparePlan(p)
 	}
 	return c
 }

@@ -176,9 +176,9 @@ func TestTriggerCrashBeforeOp(t *testing.T) {
 		t.Fatal("marker send not traced")
 	}
 
-	plan := &sim.FaultPlan{CrashAtStep: -1, Triggers: []sim.TriggerPoint{{
-		Site: site, Occurrence: 1, When: sim.Before, Action: sim.ActCrashSelf,
-	}}}
+	plan := sim.NewScenarioPlan([]sim.FaultSpec{{
+		Site: site, Occurrence: 1, When: sim.WhenBefore, Action: sim.ActionNodeCrash,
+	}}, nil)
 	c, out := build(plan)
 	if c.FactStr("got-marker") != "" {
 		t.Fatal("crash-before-send did not suppress the send")
@@ -188,9 +188,9 @@ func TestTriggerCrashBeforeOp(t *testing.T) {
 	}
 
 	// Kernel drop: the sender survives, the message is lost.
-	plan = &sim.FaultPlan{CrashAtStep: -1, Triggers: []sim.TriggerPoint{{
-		Site: site, Occurrence: 1, When: sim.Before, Action: sim.ActDropKernel,
-	}}}
+	plan = sim.NewScenarioPlan([]sim.FaultSpec{{
+		Site: site, Occurrence: 1, When: sim.WhenBefore, Action: sim.ActionKernelDrop,
+	}}, nil)
 	c, out = build(plan)
 	if c.FactStr("got-marker") != "" {
 		t.Fatal("kernel drop did not suppress delivery")
@@ -227,9 +227,9 @@ func TestTriggerOccurrenceCounting(t *testing.T) {
 		}
 	}
 	// Crash the sender right before the 3rd send: only 1 and 2 arrive.
-	c = build(&sim.FaultPlan{CrashAtStep: -1, Triggers: []sim.TriggerPoint{{
-		Site: site, Occurrence: 3, When: sim.Before, Action: sim.ActCrashSelf,
-	}}})
+	c = build(sim.NewScenarioPlan([]sim.FaultSpec{{
+		Site: site, Occurrence: 3, When: sim.WhenBefore, Action: sim.ActionNodeCrash,
+	}}, nil))
 	if got := c.FactStr("last"); got != "2" {
 		t.Fatalf("last delivered = %q, want 2", got)
 	}

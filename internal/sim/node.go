@@ -248,8 +248,10 @@ func (n *Node) PostEvent(typ string, payload Value, causor trace.OpID, flags uin
 // crash marks the process dead: its threads are killed, its heap disappears,
 // pending calls to it fail (if the cluster is fail-fast), convict
 // subscribers are notified, and restart policies fire. Local files survive —
-// they belong to the machine, not the process.
-func (c *Cluster) crashProcess(pid string, selfSite SiteID) {
+// they belong to the machine, not the process. restartOverride, when
+// non-nil, replaces the plan's RestartRoles entry for this victim (>= 0
+// restarts after that delay, < 0 pins the process down).
+func (c *Cluster) crashProcess(pid string, selfSite SiteID, restartOverride *int64) {
 	n := c.nodes[pid]
 	if n == nil || n.crashed {
 		return
@@ -301,23 +303,30 @@ func (c *Cluster) crashProcess(pid string, selfSite SiteID) {
 		}
 	}
 
-	// Plan-driven restart of the role (operator behaviour).
-	if c.pendingPlan != nil {
-		if delay, ok := c.pendingPlan.RestartRoles[n.Role]; ok {
-			role := n.Role
-			c.addTimer(c.clock+delay, nil, func() {
-				if c.Lookup(role) == "" {
-					c.RestartRole(role, trace.NoOp)
-				}
-			})
+	// Plan-driven restart of the role (operator behaviour). A per-event
+	// override wins over the plan's role map.
+	delay, restart := int64(0), false
+	if restartOverride != nil {
+		if *restartOverride >= 0 {
+			delay, restart = *restartOverride, true
 		}
+	} else if c.pendingPlan != nil {
+		delay, restart = c.pendingPlan.RestartRoles[n.Role]
+	}
+	if restart {
+		role := n.Role
+		c.addTimer(c.clock+delay, nil, func() {
+			if c.Lookup(role) == "" {
+				c.RestartRole(role, trace.NoOp)
+			}
+		})
 	}
 }
 
 // CrashNow crashes the process executing ctx (used by app-level supervisors
 // that shoot misbehaving workers, e.g. the RM killing task containers).
 func (ctx *Context) CrashNow(pid string) {
-	ctx.c.crashProcess(pid, NoSite)
+	ctx.c.crashProcess(pid, NoSite, nil)
 	if ctx.t.node.crashed {
 		panic(killedPanic{})
 	}

@@ -115,21 +115,37 @@ func (c *Cluster) advanceToNextTimer() bool {
 	return c.fireDue()
 }
 
-// applyPlanAtStep injects the observation crash when its step arrives.
+// applyPlanAtStep fires the plan's step-anchored scenario events (the
+// observation crash, and relative follow-up crashes) when their step
+// arrives.
 func (c *Cluster) applyPlanAtStep() {
 	p := c.pendingPlan
-	if p == nil || p.crashDone || p.CrashAtStep < 0 || c.clock < p.CrashAtStep {
+	if p == nil || p.stepPending == 0 || c.clock < p.nextStepAt {
 		return
 	}
-	p.crashDone = true
-	pid := p.CrashPID
-	if n := c.nodes[pid]; n == nil {
-		// Treat as a role name: crash its current incarnation.
-		pid = c.Lookup(p.CrashPID)
+	for i := range p.Events {
+		ev := &p.Events[i]
+		if ev.Site != "" || ev.fired || !ev.armed || c.clock < ev.armedAt {
+			continue
+		}
+		ev.fired = true
+		c.armNextEvent(p, i)
+		target := ev.Target
+		if target == "" && ev.Delay > 0 {
+			// A relative crash with no explicit target re-crashes the most
+			// recently crashed role's current (restarted) incarnation.
+			target = p.lastCrashRole
+		}
+		pid := target
+		if n := c.nodes[pid]; n == nil {
+			// Treat as a role name: crash its current incarnation.
+			pid = c.Lookup(target)
+		}
+		if pid != "" {
+			c.injectCrash(pid, c.sitePlan, ev.Restart)
+		}
 	}
-	if pid != "" {
-		c.crashProcess(pid, c.sitePlan)
-	}
+	p.recountStep()
 }
 
 // workloadDone reports whether every non-daemon thread has finished and no

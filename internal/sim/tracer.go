@@ -185,7 +185,7 @@ func (tr *tracer) emitSystem(op opSpec) trace.OpID {
 }
 
 // needSites reports whether op sites must be computed this run (they are
-// needed for traces and for matching trigger points).
+// needed for traces and for matching site-anchored fault events).
 func (c *Cluster) needSites() bool {
-	return c.tracer.trace != nil || (c.pendingPlan != nil && len(c.pendingPlan.Triggers) > 0)
+	return c.tracer.trace != nil || (c.pendingPlan != nil && c.pendingPlan.siteEvents > 0)
 }

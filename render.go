@@ -186,5 +186,5 @@ func (e *EvalRun) RenderTriggerMatrix() string {
 		rows = append(rows, []string{r.Bug, yn(r.NodeCrash), yn(r.KernelDrop), yn(r.AppDrop)})
 	}
 	return "Fault types that trigger each confirmed bug (Section 8.4).\n" +
-		renderTable([]string{"Bug", "node-crash", "kernel-drop", "app-drop"}, rows)
+		renderTable([]string{"Bug", ActionNodeCrash, ActionKernelDrop, ActionAppDrop}, rows)
 }

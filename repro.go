@@ -139,9 +139,9 @@ func (r *Reproduction) Render() string {
 		fmt.Fprintf(&b, "trigger:    remove W' (occurrence %d of %s on %s) via crash or drop\n",
 			wp.Occurrence, wp.Site, wp.PID)
 	} else {
-		when := "after"
+		when := WhenAfter
 		if r.Report.WInFaultyRun {
-			when = "before"
+			when = WhenBefore
 		}
 		fmt.Fprintf(&b, "trigger:    crash %s right %s W (occurrence %d of %s)\n",
 			r.Report.CrashTargetRole, when, r.Report.W.Occurrence, r.Report.W.Site)
@@ -155,8 +155,10 @@ func (r *Reproduction) Render() string {
 		fmt.Fprintf(&b, "failure:    %s\n", r.Outcome.Detail)
 	}
 	if r.Report.Type == CrashRegularBug {
-		fmt.Fprintf(&b, "fault types: node-crash=%v kernel-drop=%v app-drop=%v\n",
-			r.Outcome.ByAction["node-crash"], r.Outcome.ByAction["kernel-drop"], r.Outcome.ByAction["app-drop"])
+		fmt.Fprintf(&b, "fault types: %s=%v %s=%v %s=%v\n",
+			ActionNodeCrash, r.Outcome.ByAction[ActionNodeCrash],
+			ActionKernelDrop, r.Outcome.ByAction[ActionKernelDrop],
+			ActionAppDrop, r.Outcome.ByAction[ActionAppDrop])
 	}
 	return b.String()
 }

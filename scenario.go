@@ -1,0 +1,116 @@
+package fcatch
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"fcatch/internal/sim"
+)
+
+// FaultSpec is one fault event of an injection scenario, in the JSON-stable
+// form shared by the simulator, the campaign engine, and the
+// distributed-campaign wire protocol. A scenario is an ordered []FaultSpec:
+// each event is step-anchored (CrashStep), site-anchored (Site/Occurrence/
+// When/Action), or relative (Delay ticks after the previous event fires).
+// Set Options.Scenario to observe and detect against a custom scenario; an
+// empty scenario uses the workload's default single crash.
+type FaultSpec = sim.FaultSpec
+
+// Fault action and edge names — the one shared vocabulary (see
+// internal/sim's fault table).
+const (
+	ActionNodeCrash  = sim.ActionNodeCrash
+	ActionKernelDrop = sim.ActionKernelDrop
+	ActionAppDrop    = sim.ActionAppDrop
+
+	WhenBefore = sim.WhenBefore
+	WhenAfter  = sim.WhenAfter
+)
+
+// FaultActionNames lists every fault action name in canonical order.
+func FaultActionNames() []string { return sim.ActionNames() }
+
+// ParseScenario parses the CLI scenario syntax: events separated by ";",
+// each event a comma-separated list of key=value fields.
+//
+//	step=120                      crash the default target at step 120
+//	step=120,target=worker        crash role "worker" at step 120
+//	delay=60                      60 ticks after the previous event, crash
+//	                              the previously crashed role's restarted
+//	                              incarnation (a recovery-window crash)
+//	site=a.go:10,occ=2,when=before,action=kernel-drop
+//	...,restart=40                restart this event's victim after 40 ticks
+//	                              even if the workload wouldn't
+//	...,restart=-1                never restart this event's victim
+//
+// Example: "step=120,restart=40;delay=48" — crash at step 120, restart the
+// victim, and crash its fresh incarnation 48 ticks later.
+func ParseScenario(s string) ([]FaultSpec, error) {
+	var out []FaultSpec
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var ev FaultSpec
+		for _, field := range strings.Split(part, ",") {
+			field = strings.TrimSpace(field)
+			if field == "" {
+				continue
+			}
+			key, val, ok := strings.Cut(field, "=")
+			if !ok {
+				return nil, fmt.Errorf("fcatch: scenario field %q is not key=value", field)
+			}
+			switch key {
+			case "step":
+				n, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("fcatch: scenario step %q: %w", val, err)
+				}
+				ev.CrashStep = n
+			case "site":
+				ev.Site = val
+			case "occ", "occurrence":
+				n, err := strconv.Atoi(val)
+				if err != nil {
+					return nil, fmt.Errorf("fcatch: scenario occurrence %q: %w", val, err)
+				}
+				ev.Occurrence = n
+			case "when":
+				if _, ok := sim.ParseWhen(val); !ok {
+					return nil, fmt.Errorf("fcatch: scenario when %q (have %s, %s)", val, WhenBefore, WhenAfter)
+				}
+				ev.When = val
+			case "action":
+				if _, ok := sim.ParseAction(val); !ok {
+					return nil, fmt.Errorf("fcatch: scenario action %q (have %s)",
+						val, strings.Join(sim.ActionNames(), ", "))
+				}
+				ev.Action = val
+			case "target":
+				ev.Target = val
+			case "delay":
+				n, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("fcatch: scenario delay %q: %w", val, err)
+				}
+				ev.Delay = n
+			case "restart":
+				n, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("fcatch: scenario restart %q: %w", val, err)
+				}
+				ev.Restart = &n
+			default:
+				return nil, fmt.Errorf("fcatch: unknown scenario field %q", key)
+			}
+		}
+		out = append(out, ev)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("fcatch: empty scenario %q", s)
+	}
+	return out, nil
+}

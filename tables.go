@@ -414,9 +414,9 @@ func (e *EvalRun) TriggerMatrix() []TriggerMatrixRow {
 			seen[s.ID] = true
 			rows = append(rows, TriggerMatrixRow{
 				Bug:        s.ID,
-				NodeCrash:  out.ByAction["node-crash"],
-				KernelDrop: out.ByAction["kernel-drop"],
-				AppDrop:    out.ByAction["app-drop"],
+				NodeCrash:  out.ByAction[ActionNodeCrash],
+				KernelDrop: out.ByAction[ActionKernelDrop],
+				AppDrop:    out.ByAction[ActionAppDrop],
 			})
 		}
 	}
