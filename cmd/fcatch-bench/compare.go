@@ -17,9 +17,10 @@ const compareThreshold = 0.10
 // regression table: ns/op deltas for every benchmark both reports contain
 // (keyed by name), plus runs/sec deltas for throughput entries. Entries only
 // one side has are listed separately, so a renamed benchmark cannot silently
-// vanish from the trajectory. Returns the number of flagged regressions; the
-// caller decides whether that fails the run.
-func runBenchCompare(oldPath, newPath string) int {
+// vanish from the trajectory. Returns the names of the flagged regressions;
+// the caller decides which of them fail the run (-strict fails on any,
+// -gate on a matching prefix).
+func runBenchCompare(oldPath, newPath string) []string {
 	oldRep, err := loadBenchReport(oldPath)
 	if err != nil {
 		fatalBench(err)
@@ -41,7 +42,7 @@ func runBenchCompare(oldPath, newPath string) int {
 	fmt.Printf("old: %s (%s, GOMAXPROCS=%d)\n", oldPath, oldRep.GoVersion, oldRep.GOMAXPROCS)
 	fmt.Printf("new: %s (%s, GOMAXPROCS=%d)\n\n", newPath, newRep.GoVersion, newRep.GOMAXPROCS)
 
-	var regressions int
+	var regressions []string
 	fmt.Printf("%-52s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
 	for _, e := range newRep.Benchmarks {
 		o, ok := oldBy[e.Name]
@@ -53,7 +54,7 @@ func runBenchCompare(oldPath, newPath string) int {
 		switch {
 		case delta > compareThreshold:
 			mark = "  REGRESSION"
-			regressions++
+			regressions = append(regressions, e.Name)
 		case delta < -compareThreshold:
 			mark = "  improved"
 		}
@@ -81,7 +82,7 @@ func runBenchCompare(oldPath, newPath string) int {
 	if len(onlyNew) > 0 {
 		fmt.Printf("\nonly in new (%d): %s\n", len(onlyNew), strings.Join(onlyNew, ", "))
 	}
-	fmt.Printf("\n%d regression(s) beyond %.0f%%\n", regressions, compareThreshold*100)
+	fmt.Printf("\n%d regression(s) beyond %.0f%%\n", len(regressions), compareThreshold*100)
 	return regressions
 }
 

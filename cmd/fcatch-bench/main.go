@@ -21,6 +21,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"fcatch"
 	"fcatch/internal/core"
@@ -43,6 +44,7 @@ func main() {
 	smoke := flag.Bool("smoke", false, "with -json: run only the cheap TOY-scale entries (CI smoke test)")
 	compareBench := flag.Bool("compare", false, "diff two perf suites: fcatch-bench -compare old.json new.json")
 	strict := flag.Bool("strict", false, "with -compare: exit nonzero when regressions are flagged")
+	gate := flag.String("gate", "", "with -compare: exit nonzero when a flagged regression's name starts with this prefix (e.g. detect/); other entries stay advisory")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -52,8 +54,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "fcatch-bench: -compare takes exactly two files: old.json new.json")
 			os.Exit(2)
 		}
-		if n := runBenchCompare(flag.Arg(0), flag.Arg(1)); n > 0 && *strict {
+		regs := runBenchCompare(flag.Arg(0), flag.Arg(1))
+		if *strict && len(regs) > 0 {
 			os.Exit(1)
+		}
+		if *gate != "" {
+			for _, name := range regs {
+				if strings.HasPrefix(name, *gate) {
+					fmt.Fprintf(os.Stderr, "fcatch-bench: gated regression in %s\n", name)
+					os.Exit(1)
+				}
+			}
 		}
 		return
 	}

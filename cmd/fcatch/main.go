@@ -111,8 +111,12 @@ func main() {
 		fmt.Printf("%s: %d TOF bug report(s) from %d+%d trace records\n",
 			w.Name(), len(res.Reports), res.Observation.FaultFree.Len(), res.Observation.Faulty.Len())
 		for i, r := range res.Reports {
-			fmt.Printf("  %2d. %s\n", i+1, r)
+			fmt.Printf("  %2d. w%-2d %s\n", i+1, r.WindowID, r)
 		}
+		if len(res.Windows) > 1 {
+			fmt.Print(fcatch.RenderWindows(res))
+		}
+		fmt.Print(fcatch.RenderCompound(res))
 		fmt.Printf("pruned: loop-timeout=%d wait-timeout=%d dependence=%d impact=%d\n",
 			res.Regular.Pruned.LoopTimeout, res.Regular.Pruned.WaitTimeout,
 			res.Recovery.Pruned.Dependence, res.Recovery.Pruned.Impact)
@@ -128,6 +132,14 @@ func main() {
 				fmt.Printf(" (%s)", o.Detail)
 			}
 			fmt.Println()
+		}
+		for _, c := range res.Compound {
+			o := fcatch.TriggerCompound(w, res, c)
+			fmt.Printf("  [%s] %s\n", o.Class, c)
+			if o.Class != fcatch.Benign {
+				fmt.Printf("      -> %s (%s) under policy %s\n      -> scenario %q\n",
+					o.FailureKind, o.Detail, o.Variant, fcatch.FormatScenario(o.Scenario))
+			}
 		}
 
 	case "random":

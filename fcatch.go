@@ -51,6 +51,24 @@ type (
 	RandomResult = inject.RandomResult
 	// Phase selects where the observation crash lands.
 	Phase = core.Phase
+	// Window is one hazard window of an observation: the interval a fault
+	// opened, who it hit, and who recovers inside it. Result.Windows lists
+	// them; Report.WindowID anchors each crash-recovery report in one.
+	Window = detect.Window
+	// WindowKind distinguishes crash-recovery from drop-induced windows.
+	WindowKind = detect.WindowKind
+	// CompoundReport pairs two hazard windows of a multi-fault observation:
+	// the inner window's fault fired inside the outer window's recovery.
+	CompoundReport = detect.CompoundReport
+	// CompoundOutcome is the verdict of replaying a compound report's two
+	// window anchors as a fresh scenario.
+	CompoundOutcome = inject.CompoundOutcome
+)
+
+// Hazard-window kinds.
+const (
+	WindowCrashRecovery = detect.WindowCrashRecovery
+	WindowDropInduced   = detect.WindowDropInduced
 )
 
 // Observation-crash phases (Section 8.1.2 sensitivity study).
@@ -132,6 +150,29 @@ func Trigger(w Workload, res *Result) []*TriggerOutcome {
 	tg := inject.NewTriggerer(w, res.Options.Seed)
 	tg.Parallelism = res.Options.Parallelism
 	return tg.TriggerAll(res.Reports)
+}
+
+// TriggerScenario rebuilds the fault scenario that replays one report from
+// its window anchors: the events that re-open every earlier hazard window,
+// then the report's own trigger event. FormatScenario renders the result as
+// a `-scenario` string.
+func TriggerScenario(rep *Report, windows []Window) []FaultSpec {
+	return inject.TriggerScenario(rep, windows)
+}
+
+// CompoundScenario lowers a compound report's two window anchors back to the
+// scenario events that re-open them, in order. FormatScenario renders the
+// result as a `-scenario` string.
+func CompoundScenario(rep *CompoundReport) []FaultSpec {
+	return []FaultSpec{inject.WindowEvent(&rep.Outer), inject.WindowEvent(&rep.Inner)}
+}
+
+// TriggerCompound replays a compound report: both window anchors are lowered
+// back to scenario events and injected in order, confirming (or refuting)
+// that the inner fault landing inside the outer window reproduces the
+// composite failure under some recovery policy.
+func TriggerCompound(w Workload, res *Result, rep *CompoundReport) *CompoundOutcome {
+	return inject.NewTriggerer(w, res.Options.Seed).TriggerCompound(rep)
 }
 
 // RandomInjection runs the Section 8.3 baseline: `runs` executions with a

@@ -368,7 +368,7 @@ func runPlan(w core.Workload, seed int64, p Plan, target string, restart map[str
 	w.Configure(c)
 	out := c.Run()
 	checkErr := w.Check(c, out)
-	sig := Signature{Outcome: outcomeClass(out, checkErr)}
+	sig := Signature{Outcome: outcomeClass(out, checkErr), Windows: WindowsFingerprint(out.FaultFirings)}
 	if sig.Outcome != OutcomeOK {
 		sig.Symptom = Symptom(out, checkErr)
 		sig.Expected = ExpectedSymptom(w, sig.Symptom)

@@ -42,6 +42,10 @@ type Signature struct {
 	Symptom  string `json:"symptom,omitempty"`
 	Coverage uint64 `json:"coverage,omitempty"`
 	Expected bool   `json:"expected,omitempty"`
+	// Windows is the per-window fingerprint of a multi-fault run (see
+	// WindowsFingerprint); empty for runs with fewer than two fault firings,
+	// so single-fault corpora and their JSON goldens are unchanged.
+	Windows string `json:"windows,omitempty"`
 }
 
 // Failure reports whether this signature counts as a distinct-failure
@@ -51,7 +55,40 @@ func (s Signature) Failure() bool { return s.Outcome != OutcomeOK && !s.Expected
 // BehaviorKey is the dedupe-corpus identity: outcome + symptom + coverage.
 // Novelty of this key is what the coverage-guided strategy reinvests in.
 func (s Signature) BehaviorKey() string {
-	return s.Outcome + "|" + s.Symptom + "|" + strconv.FormatUint(s.Coverage, 16)
+	key := s.Outcome + "|" + s.Symptom + "|" + strconv.FormatUint(s.Coverage, 16)
+	if s.Windows != "" {
+		key += "|" + s.Windows
+	}
+	return key
+}
+
+// WindowsFingerprint folds a multi-fault run's hazard windows into the
+// behavior signature: one "action@victim" token per fault firing, in firing
+// order. The victim keeps its incarnation suffix on purpose —
+// "node-crash@task1#2" says the second fault landed on a recovery
+// incarnation, i.e. inside the first fault's hazard window — so composite
+// corpora distinguish "same symptom, different window" behaviors that a
+// symptom string alone would collapse. Runs with fewer than two firings
+// fingerprint to "" (the classic single-fault signature is the window-free
+// special case).
+func WindowsFingerprint(firings []sim.FaultFiring) string {
+	if len(firings) < 2 {
+		return ""
+	}
+	var b strings.Builder
+	for i := range firings {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(firings[i].Action)
+		b.WriteByte('@')
+		if firings[i].Victim == "" {
+			b.WriteString("none")
+		} else {
+			b.WriteString(firings[i].Victim)
+		}
+	}
+	return b.String()
 }
 
 // outcomeClass mirrors the triggering module's failure precedence: uncaught
@@ -145,7 +182,7 @@ func stripPID(s string) string {
 
 // signatureOf builds the full behavior signature for one finished run.
 func signatureOf(w core.Workload, out *sim.Outcome, checkErr error, tr *trace.Trace) Signature {
-	sig := Signature{Outcome: outcomeClass(out, checkErr)}
+	sig := Signature{Outcome: outcomeClass(out, checkErr), Windows: WindowsFingerprint(out.FaultFirings)}
 	if sig.Outcome != OutcomeOK {
 		sig.Symptom = Symptom(out, checkErr)
 		sig.Expected = ExpectedSymptom(w, sig.Symptom)

@@ -144,7 +144,12 @@ type Observation struct {
 	// CrashedPIDs are the processes the scenario crashed, in injection
 	// order (the detectors' notion of "the crashed node(s)").
 	CrashedPIDs []string
-	Timings     Timings
+	// FaultFirings are the scenario events that actually fired during the
+	// faulty run, in firing order — the per-fault surface hazard-window
+	// derivation consumes (each firing keeps its step, anchor and victim,
+	// which the flat CrashedPIDs list loses).
+	FaultFirings []sim.FaultFiring
+	Timings      Timings
 }
 
 // scenarioPlan lowers the observation scenario for one faulty attempt:
@@ -304,6 +309,7 @@ func observe(w Workload, opts Options, withGraphs bool) (*Observation, *hb.Graph
 		obs.Timings.TracingFaulty = outY.Elapsed
 		obs.CrashStep = cy.Trace().CrashStep
 		obs.CrashedPIDs = plan.InjectedCrashPIDs()
+		obs.FaultFirings = outY.FaultFirings
 		if withGraphs {
 			// Table 4 attribution: the faulty index build ran entirely after
 			// the run (above), so it is pure analysis time — nothing needs
@@ -324,6 +330,14 @@ type Result struct {
 	Recovery    *detect.RecoveryResult
 	// Reports is the merged, deduplicated report list.
 	Reports []*detect.Report
+	// Windows are the observation's hazard windows, derived once from the
+	// scenario's fault firings and shared by both detectors. A single-fault
+	// observation has exactly one.
+	Windows []detect.Window
+	// Compound are the cross-window pairing findings: faults that landed
+	// inside an earlier fault's recovery window. Always empty for
+	// single-fault observations.
+	Compound []*detect.CompoundReport
 }
 
 // Detect runs the full FCatch pipeline (Figure 2, steps 1–3) on a workload.
@@ -351,12 +365,28 @@ func Detect(w Workload, opts Options) (*Result, error) {
 	// for indexing) and is pure analysis time. The stage timings therefore
 	// stay disjoint and sum to within the measured wall clock, and "Overall"
 	// keeps the paper's serial accounting of the same work.
-	// The detectors learn the crashed node(s) from the scenario's actual
-	// victims, not from the workload interface.
+	// The detectors learn the fault surface from the scenario's actual
+	// firings, not from the workload interface: each firing keeps its step,
+	// anchor and victim, and the hazard windows are derived from them once
+	// here, shared by both detectors and the compound pairing pass. The flat
+	// victim list stays populated as the legacy fallback surface.
 	dopts := opts.Detect
 	if len(dopts.CrashedPIDs) == 0 {
 		dopts.CrashedPIDs = obs.CrashedPIDs
 	}
+	if len(dopts.Firings) == 0 {
+		for _, f := range obs.FaultFirings {
+			dopts.Firings = append(dopts.Firings, detect.FaultFiring{
+				Index: f.Index, Action: f.Action, Step: f.Step,
+				Site: f.Site, Occurrence: f.Occurrence, When: f.When,
+				Victim: f.Victim,
+			})
+		}
+	}
+	if len(dopts.Windows) == 0 {
+		dopts.Windows = detect.ObservationWindows(obs.Faulty, dopts)
+	}
+	res.Windows = dopts.Windows
 	parallel.ForEach(opts.Parallelism, 2, func(i int) {
 		t0 := time.Now()
 		if i == 0 {
@@ -371,5 +401,8 @@ func Detect(w Workload, opts Options) (*Result, error) {
 	res.Reports = append(res.Reports, res.Regular.Reports...)
 	res.Reports = append(res.Reports, res.Recovery.Reports...)
 	res.Reports = detect.Dedup(res.Reports)
+	if len(res.Windows) > 1 {
+		res.Compound = detect.DetectCompound(gy, res.Windows, w.Name())
+	}
 	return res, nil
 }

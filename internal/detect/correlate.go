@@ -26,6 +26,10 @@ type ReportGroup struct {
 	// Window spans the earliest W and the latest W among the group: one
 	// crash anywhere inside hits at least one member.
 	WindowStart, WindowEnd int64
+	// WindowID is the hazard window the group's reports belong to (reports
+	// from different hazard windows never share a group: an activation frame
+	// is one window's recovery, and the grouping key carries the window).
+	WindowID int
 }
 
 // CorrelateRecovery groups crash-recovery reports by the activation frame of
@@ -40,15 +44,22 @@ func CorrelateRecovery(ty *trace.Trace, reports []*Report) []ReportGroup {
 	frames := map[string][]*Report{}
 	orders := map[string]trace.OpID{}
 	label := func(r *Report) keyed {
+		// Reports from later hazard windows get a window-suffixed key, so a
+		// fallback key (unresolvable frame) never merges findings across
+		// windows. Window 0 keeps the historical key byte-identical.
+		suffix := ""
+		if r.WindowID > 0 {
+			suffix = "|w" + itoa(int64(r.WindowID))
+		}
 		rec := ty.At(r.R.Op)
 		if rec == nil {
-			return keyed{key: "?" + r.R.Site, order: r.R.Op}
+			return keyed{key: "?" + r.R.Site + suffix, order: r.R.Op}
 		}
 		act := ty.At(rec.Frame)
 		if act == nil {
-			return keyed{key: "?" + r.R.Site, order: rec.ID}
+			return keyed{key: "?" + r.R.Site + suffix, order: rec.ID}
 		}
-		return keyed{key: ty.Str(act.Aux) + "#" + itoa(int64(act.ID)), order: act.ID}
+		return keyed{key: ty.Str(act.Aux) + "#" + itoa(int64(act.ID)) + suffix, order: act.ID}
 	}
 	for _, r := range reports {
 		if r.Type != CrashRecovery {
@@ -65,13 +76,21 @@ func CorrelateRecovery(ty *trace.Trace, reports []*Report) []ReportGroup {
 	for k := range frames {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool { return orders[keys[i]] < orders[keys[j]] })
+	sort.Slice(keys, func(i, j int) bool {
+		// The window suffix can split one activation across keys with the
+		// same order (an op reachable from two windows' recoveries): break
+		// the tie on the key so the grouping stays deterministic.
+		if orders[keys[i]] != orders[keys[j]] {
+			return orders[keys[i]] < orders[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
 
 	var groups []ReportGroup
 	for _, k := range keys {
 		rs := frames[k]
 		sort.Slice(rs, func(i, j int) bool { return rs[i].R.Op < rs[j].R.Op })
-		g := ReportGroup{Frame: trimFrameKey(k), Reports: rs}
+		g := ReportGroup{Frame: trimFrameKey(k), Reports: rs, WindowID: rs[0].WindowID}
 		for _, r := range rs {
 			if g.WindowStart == 0 || r.W.TS < g.WindowStart {
 				g.WindowStart = r.W.TS

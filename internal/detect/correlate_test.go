@@ -1,0 +1,163 @@
+package detect
+
+import (
+	"testing"
+
+	"fcatch/internal/trace"
+)
+
+// correlateTrace builds two recovery activations on one trace: activation A
+// ("splitWorker") runs two recovery reads, activation B ("queueAdopter")
+// runs one. Returned op IDs index the three reads in trace order.
+func correlateTrace() (ty *trace.Trace, reads [3]trace.OpID) {
+	ty = trace.New()
+	actA := ty.Append(trace.Record{Kind: trace.KThreadStart, PID: ty.Intern("m#1"), Thread: 1,
+		Aux: ty.Intern("splitWorker"), Causor: trace.NoOp})
+	reads[0] = ty.Append(trace.Record{Kind: trace.KStRead, PID: ty.Intern("m#1"), Thread: 1, Frame: actA,
+		Res: ty.Intern("zk:/lock"), Site: ty.Intern("split.go:10"), TS: 20})
+	reads[1] = ty.Append(trace.Record{Kind: trace.KStRead, PID: ty.Intern("m#1"), Thread: 1, Frame: actA,
+		Res: ty.Intern("gfs:/wal"), Site: ty.Intern("split.go:22"), TS: 25})
+	actB := ty.Append(trace.Record{Kind: trace.KThreadStart, PID: ty.Intern("m#1"), Thread: 2,
+		Aux: ty.Intern("queueAdopter"), Causor: trace.NoOp})
+	reads[2] = ty.Append(trace.Record{Kind: trace.KStRead, PID: ty.Intern("m#1"), Thread: 2, Frame: actB,
+		Res: ty.Intern("zk:/queue"), Site: ty.Intern("adopt.go:7"), TS: 30})
+	return ty, reads
+}
+
+func recReport(op trace.OpID, site string, wTS int64, windowID int) *Report {
+	return &Report{
+		Type:     CrashRecovery,
+		W:        OpSummary{Site: "w.go:1", TS: wTS},
+		R:        OpSummary{Op: op, Site: site},
+		ResClass: "st:" + site,
+		WindowID: windowID,
+	}
+}
+
+// TestCorrelateGroupsByActivationFrame: reads under one activation frame
+// co-group; reads under another frame form their own group, in trace order.
+func TestCorrelateGroupsByActivationFrame(t *testing.T) {
+	ty, reads := correlateTrace()
+	rs := []*Report{
+		recReport(reads[0], "split.go:10", 5, 0),
+		recReport(reads[1], "split.go:22", 9, 0),
+		recReport(reads[2], "adopt.go:7", 7, 0),
+	}
+	groups := CorrelateRecovery(ty, rs)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+	if g := groups[0]; g.Frame != "splitWorker" || len(g.Reports) != 2 {
+		t.Fatalf("group 0 = %q with %d reports, want splitWorker with 2", g.Frame, len(g.Reports))
+	}
+	if g := groups[1]; g.Frame != "queueAdopter" || len(g.Reports) != 1 {
+		t.Fatalf("group 1 = %q with %d reports, want queueAdopter with 1", g.Frame, len(g.Reports))
+	}
+	// The group window spans the earliest and latest W among its members.
+	if groups[0].WindowStart != 5 || groups[0].WindowEnd != 9 {
+		t.Fatalf("group 0 window = [%d, %d], want [5, 9]", groups[0].WindowStart, groups[0].WindowEnd)
+	}
+}
+
+// TestCorrelateStableUnderInputOrder: feeding the same reports in any order
+// yields the same groups (same frames, same in-group report order).
+func TestCorrelateStableUnderInputOrder(t *testing.T) {
+	ty, reads := correlateTrace()
+	base := []*Report{
+		recReport(reads[0], "split.go:10", 5, 0),
+		recReport(reads[1], "split.go:22", 9, 0),
+		recReport(reads[2], "adopt.go:7", 7, 0),
+	}
+	want := CorrelateRecovery(ty, base)
+	perms := [][]int{{0, 1, 2}, {2, 1, 0}, {1, 2, 0}, {2, 0, 1}}
+	for _, p := range perms {
+		shuffled := []*Report{base[p[0]], base[p[1]], base[p[2]]}
+		got := CorrelateRecovery(ty, shuffled)
+		if len(got) != len(want) {
+			t.Fatalf("perm %v: %d groups, want %d", p, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Frame != want[i].Frame || len(got[i].Reports) != len(want[i].Reports) {
+				t.Fatalf("perm %v: group %d = %q/%d, want %q/%d",
+					p, i, got[i].Frame, len(got[i].Reports), want[i].Frame, len(want[i].Reports))
+			}
+			for j := range got[i].Reports {
+				if got[i].Reports[j].R.Op != want[i].Reports[j].R.Op {
+					t.Fatalf("perm %v: group %d report %d out of order", p, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestCorrelateNeverMergesAcrossWindows: two reports reading under the SAME
+// activation frame but anchored in different hazard windows must not share a
+// group — an activation frame is one window's recovery, and the grouping key
+// carries the window.
+func TestCorrelateNeverMergesAcrossWindows(t *testing.T) {
+	ty, reads := correlateTrace()
+	rs := []*Report{
+		recReport(reads[0], "split.go:10", 5, 0),
+		recReport(reads[1], "split.go:22", 9, 1),
+	}
+	groups := CorrelateRecovery(ty, rs)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2 (same frame, different windows)", len(groups))
+	}
+	if groups[0].WindowID != 0 || groups[1].WindowID != 1 {
+		t.Fatalf("group window IDs = %d, %d, want 0, 1", groups[0].WindowID, groups[1].WindowID)
+	}
+	// Window 0 keeps the historical frame label; both groups resolve the
+	// same activation.
+	if groups[0].Frame != "splitWorker" {
+		t.Fatalf("window-0 frame = %q, want splitWorker", groups[0].Frame)
+	}
+}
+
+// TestCorrelateWindowBoundaryOrdering: when a window-suffixed key ties with
+// the unsuffixed key on activation order, the key string breaks the tie, so
+// group order is deterministic and window 0 sorts first.
+func TestCorrelateWindowBoundaryOrdering(t *testing.T) {
+	ty, reads := correlateTrace()
+	rs := []*Report{
+		recReport(reads[0], "split.go:10", 5, 1),
+		recReport(reads[1], "split.go:22", 9, 0),
+	}
+	g1 := CorrelateRecovery(ty, rs)
+	g2 := CorrelateRecovery(ty, []*Report{rs[1], rs[0]})
+	if len(g1) != 2 || len(g2) != 2 {
+		t.Fatalf("groups = %d/%d, want 2/2", len(g1), len(g2))
+	}
+	for i := range g1 {
+		if g1[i].WindowID != g2[i].WindowID {
+			t.Fatalf("group order depends on input order: %d vs %d at %d",
+				g1[i].WindowID, g2[i].WindowID, i)
+		}
+	}
+	if g1[0].WindowID != 0 {
+		t.Fatalf("first group window = %d, want 0 (unsuffixed key sorts first)", g1[0].WindowID)
+	}
+}
+
+// TestCorrelateFallbackKeySingleton: a report whose read op cannot be
+// resolved in the trace falls back to a site-keyed singleton group.
+func TestCorrelateFallbackKeySingleton(t *testing.T) {
+	ty, reads := correlateTrace()
+	rs := []*Report{
+		recReport(reads[0], "split.go:10", 5, 0),
+		recReport(trace.OpID(9999), "ghost.go:1", 7, 0),
+	}
+	groups := CorrelateRecovery(ty, rs)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+	found := false
+	for _, g := range groups {
+		if len(g.Reports) == 1 && g.Reports[0].R.Site == "ghost.go:1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("unresolvable report did not land in a singleton group")
+	}
+}

@@ -14,6 +14,9 @@ type RecoveryResult struct {
 	Pruned  PruneCounters
 	// RecoveryPIDs are the processes identified as recovery nodes.
 	RecoveryPIDs []string
+	// Windows are the hazard windows the pass analyzed, in firing order
+	// (including drop-induced windows, which open no recovery of their own).
+	Windows []Window
 }
 
 // isConsumer reports whether a record consumes shared-resource content for
@@ -36,8 +39,10 @@ const (
 )
 
 // classifyRes walks a trace's symbol table once and returns the dense per-Sym
-// classification slice. Every victim's heap dies with its node, so
-// multi-crash scenarios skip all of them.
+// classification slice. A victim's heap dies with its node, so the victim
+// list is "everyone dead by the window under analysis" — window k's
+// classification skips the heaps of windows 0..k's victims, not of victims
+// whose crash is still in the future.
 func classifyRes(t *trace.Trace, victims []string) []uint8 {
 	out := make([]uint8, t.NumSyms())
 	heaps := make([]string, len(victims))
@@ -85,178 +90,98 @@ func DetectRecovery(gf, gy *hb.Graph, workload string) *RecoveryResult {
 	return DetectRecoveryOpts(gf, gy, workload, Options{})
 }
 
+// crashWrite is one candidate W: a write the fault orphaned. Window 0's
+// writes come from the fault-free trace (what the crashing node did and
+// *could have done* had it lived longer); an incarnation window's writes come
+// from the faulty trace itself (what its victim actually did before dying —
+// the incarnation never existed in the fault-free run). Site/PID are
+// pre-translated to faulty-run Syms so the pair loop compares integers.
+type crashWrite struct {
+	r             *trace.Record
+	t             *trace.Trace // owning trace (tf or ty)
+	siteY, pidY   trace.Sym    // w.Site/w.PID in ty's table
+	siteOK, pidOK bool         // false: the string never appears in ty
+	inFaulty      bool         // sourced from the faulty run itself
+}
+
 // DetectRecoveryOpts is DetectRecovery with the pruning analyses toggleable.
+//
+// The pass is organized around the observation's hazard windows: each
+// crash-recovery window gets its own resource classification (a heap dies at
+// its window's open step, not globally), its own recovery-node set, its own
+// crash-write source and its own dependence-prune context. A single-fault
+// observation lowers to exactly one window, on which the per-window pass is
+// the old single-crash analysis unchanged.
 func DetectRecoveryOpts(gf, gy *hb.Graph, workload string, opts Options) *RecoveryResult {
 	res := &RecoveryResult{}
 	tf, ty := gf.Ix.T, gy.Ix.T
-	crashed := ty.CrashedPID
-	if crashed == "" {
+	res.Windows = resolveWindows(ty, &opts)
+	// Only crash windows open a recovery to analyze; drop-induced windows
+	// still participate in report anchoring and compound pairing.
+	var wins []*Window
+	for i := range res.Windows {
+		if res.Windows[i].Kind == WindowCrashRecovery && res.Windows[i].Victim != "" {
+			wins = append(wins, &res.Windows[i])
+		}
+	}
+	if len(wins) == 0 {
 		return res
 	}
-	crashedRole := roleOf(crashed)
 	ixF, ixY := gf.Ix, gy.Ix
-
-	// The scenario tells us every injected victim; the trace's first
-	// recorded crash remains the recovery anchor and the fallback when no
-	// scenario information is supplied.
-	victims := opts.CrashedPIDs
-	if len(victims) == 0 {
-		victims = []string{crashed}
-	}
-
-	// Symbols are trace-local: classify each trace's resources once, and
-	// translate faulty-run Syms to fault-free Syms where the pair loops
-	// compare across traces.
-	classY := classifyRes(ty, victims)
-	classF := classifyRes(tf, victims)
-	mYF := ty.SymMapTo(tf)
+	mFY := tf.SymMapTo(ty)
 	createY, _ := ty.Lookup("create")
 
-	// --- Step 1: recovery operations in the faulty run (Section 4.3.1).
-	// Recovery nodes are processes that exist in the faulty trace but not in
-	// the fault-free trace; registered recovery handlers add more roots.
+	// --- Step 1: recovery nodes (Section 4.3.1) — processes that exist in
+	// the faulty trace but not in the fault-free trace — attributed to the
+	// latest window already open at their first traced op (window 0 when they
+	// precede every window: a single-fault observation keeps its whole set).
+	firstTS := make([]int64, ty.NumSyms())
+	seenPID := make([]bool, ty.NumSyms())
+	for i := range ty.Records {
+		r := &ty.Records[i]
+		if !seenPID[r.PID] {
+			seenPID[r.PID] = true
+			firstTS[r.PID] = r.TS
+		}
+	}
+	winAt := func(step int64) int {
+		w := 0
+		for k := range wins {
+			if wins[k].OpenStep <= step {
+				w = k
+			}
+		}
+		return w
+	}
 	recPIDs := make([]bool, ty.NumSyms())
+	pidWin := make([]int, ty.NumSyms())
 	for _, pid := range ty.PIDs {
 		if !tf.HasPID(pid) && pid != "system" {
 			if y, ok := ty.Lookup(pid); ok {
 				recPIDs[y] = true
+				pidWin[y] = winAt(firstTS[y])
 			}
 			res.RecoveryPIDs = append(res.RecoveryPIDs, pid)
 		}
 	}
-	var seeds []trace.OpID
+	// Seeds per window: thread starts of that window's recovery processes,
+	// plus registered recovery handlers attributed by their own step.
+	seedsByWin := make([][]trace.OpID, len(wins))
 	for i := range ty.Records {
 		r := &ty.Records[i]
 		if r.Kind == trace.KThreadStart && recPIDs[r.PID] {
-			seeds = append(seeds, r.ID)
+			w := pidWin[r.PID]
+			seedsByWin[w] = append(seedsByWin[w], r.ID)
 		}
 		if r.Kind == trace.KHandlerBegin && r.HasFlag(trace.FlagRecoveryRoot) {
-			seeds = append(seeds, r.ID)
-		}
-	}
-	recOps := gy.ForwardClosureDense(seeds)
-
-	var recReads []*trace.Record // consumers among recovery ops
-	// earliestRecWrite is the first successful recovery write per resource —
-	// all reset (data-dependence) pruning needs, replacing the per-pair scan
-	// over every recovery write.
-	earliestRecWrite := make([]trace.OpID, ty.NumSyms())
-	for i := range ty.Records {
-		r := &ty.Records[i]
-		if !recOps[r.ID] {
-			continue
-		}
-		if r.Res == trace.NoSym || classY[r.Res]&resSkip != 0 {
-			continue
-		}
-		if isConsumer(r, createY) {
-			recReads = append(recReads, r)
-		}
-		if r.Kind.IsWriteLike() && !r.HasFlag(trace.FlagFailed) {
-			if cur := earliestRecWrite[r.Res]; cur == trace.NoOp || r.ID < cur {
-				earliestRecWrite[r.Res] = r.ID
-			}
-		}
-	}
-	// recReads is in ID order already: the loop above walks the trace.
-
-	// --- Step 2: crash operations, from the fault-free trace — what the
-	// crashing node did and *could have done* had it lived longer. Each
-	// write's site/PID are translated to faulty-run Syms once here, so the
-	// pair loop compares integers.
-	type crashWrite struct {
-		r             *trace.Record
-		siteY, pidY   trace.Sym // w.Site/w.PID in ty's table
-		siteOK, pidOK bool      // false: the string never appears in ty
-	}
-	crashWrites := make([][]crashWrite, tf.NumSyms()) // indexed by tf res Sym
-	addCrashWrite := func(r *trace.Record) {
-		if r.Res == trace.NoSym || classF[r.Res]&resSkip != 0 || r.HasFlag(trace.FlagFailed) {
-			return
-		}
-		w := crashWrite{r: r}
-		w.siteY, w.siteOK = ty.Lookup(tf.Str(r.Site))
-		w.pidY, w.pidOK = ty.Lookup(tf.Str(r.PID))
-		crashWrites[r.Res] = append(crashWrites[r.Res], w)
-	}
-	crashedSymF, crashedInF := tf.Lookup(crashed)
-	remote := gf.ForwardClosureDense(gf.EscapingSeeds(crashed))
-	for i := range tf.Records {
-		r := &tf.Records[i]
-		if !r.Kind.IsWriteLike() {
-			continue
-		}
-		cls := uint8(0)
-		if r.Res != trace.NoSym {
-			cls = classF[r.Res]
-		}
-		if crashedInF && r.PID == crashedSymF && cls&resPersistent != 0 {
-			addCrashWrite(r)
-			continue
-		}
-		if remote[r.ID] && cls&(resPersistent|resHeap) != 0 {
-			addCrashWrite(r)
+			w := winAt(r.TS)
+			seedsByWin[w] = append(seedsByWin[w], r.ID)
 		}
 	}
 
-	// --- Step 3: conflicting pairs by resource ID.
-	type pair struct {
-		w *crashWrite
-		r *trace.Record
-	}
-	var pairs []pair
-	for _, r := range recReads {
-		fres := mYF[r.Res]
-		if fres == trace.NoSym {
-			continue // resource never appears in the fault-free run
-		}
-		ws := crashWrites[fres]
-		for i := range ws {
-			w := &ws[i]
-			if w.siteOK && w.pidOK && w.siteY == r.Site && w.pidY == r.PID {
-				continue // same static op from the same process: no conflict
-			}
-			pairs = append(pairs, pair{w: w, r: r})
-		}
-	}
-
-	// --- Step 4a: control-dependence sanity-check pruning (Figure 8).
-	// If recovery read R2 control-depends on recovery read R1 and both touch
-	// the same resource, R1 is the sanity check protecting R2.
-	inCandidates := map[trace.OpID]bool{}
-	byRes := map[trace.Sym][]*trace.Record{}
-	for _, p := range pairs {
-		if !inCandidates[p.r.ID] {
-			inCandidates[p.r.ID] = true
-			byRes[p.r.Res] = append(byRes[p.r.Res], p.r)
-		}
-	}
-	sanityChecked := map[trace.OpID]bool{}
-	for _, rs := range byRes {
-		for _, r2 := range rs {
-			for _, r1 := range rs {
-				if r1.ID == r2.ID {
-					continue
-				}
-				if containsOp(r2.Ctl, r1.ID) {
-					sanityChecked[r2.ID] = true
-				}
-			}
-		}
-	}
-
-	// --- Step 4b: data-dependence (reset) pruning. A recovery write to the
-	// same resource before R means recovery replaced the left-over content.
-	resetProtected := func(r *trace.Record) bool {
-		w := earliestRecWrite[r.Res]
-		return w != trace.NoOp && w < r.ID
-	}
-
-	// --- Step 4c: impact estimation. R must reach a failure-prone sink
-	// through data or control dependence. One pass over the faulty trace
-	// inverts the sinks' Taint/Ctl sets into "op reaches a later sink", so
-	// each read's check is an O(1) probe instead of an O(|trace|) scan.
-	// OpIDs are dense, so the set is a flat slice.
+	// --- Impact estimation (Section 4.3.3), shared by every window: one pass
+	// over the faulty trace inverts the sinks' Taint/Ctl sets into "op
+	// reaches a later sink", so each read's check is an O(1) probe.
 	impacted := make([]bool, len(ty.Records)+1)
 	mark := func(dep, sink trace.OpID) {
 		if dep >= 1 && int(dep) < len(impacted) && dep < sink {
@@ -277,51 +202,212 @@ func DetectRecoveryOpts(gf, gy *hb.Graph, workload string, opts Options) *Recove
 	}
 
 	var reports []*Report
-	for _, p := range pairs {
-		if sanityChecked[p.r.ID] || resetProtected(p.r) {
-			res.Pruned.Dependence++
-			if !opts.DisableDependencePruning {
+	// vicsThrough accumulates the victims dead by each window's open step —
+	// the window's heap-death set for classifyRes.
+	var vicsThrough []string
+	for wi, win := range wins {
+		vicsThrough = append(vicsThrough, win.Victim)
+		classY := classifyRes(ty, vicsThrough)
+
+		// Recovery operations of this window: forward closure of its seeds.
+		recOps := gy.ForwardClosureDense(seedsByWin[wi])
+		var recReads []*trace.Record // consumers among recovery ops, ID order
+		// earliestRecWrite is the first successful recovery write per
+		// resource — all reset (data-dependence) pruning needs.
+		earliestRecWrite := make([]trace.OpID, ty.NumSyms())
+		for i := range ty.Records {
+			r := &ty.Records[i]
+			if !recOps[r.ID] {
 				continue
 			}
-		}
-		if !impacted[p.r.ID] {
-			res.Pruned.Impact++
-			if !opts.DisableImpactPruning {
+			if r.Res == trace.NoSym || classY[r.Res]&resSkip != 0 {
 				continue
+			}
+			if isConsumer(r, createY) {
+				recReads = append(recReads, r)
+			}
+			if r.Kind.IsWriteLike() && !r.HasFlag(trace.FlagFailed) {
+				if cur := earliestRecWrite[r.Res]; cur == trace.NoOp || r.ID < cur {
+					earliestRecWrite[r.Res] = r.ID
+				}
 			}
 		}
 
-		// Trigger timing (Section 5): if W already executed before the crash
-		// in the faulty run, inject the crash right before it; if it only
-		// appears in the fault-free continuation, inject right after it.
-		occF := occurrence(ixF, p.w.r)
-		var faultySite []trace.OpID
-		if p.w.siteOK {
-			faultySite = ixY.SiteIDs(p.w.siteY)
-		}
-		inFaulty := len(faultySite) >= occF
-		if inFaulty {
-			// Confirm the occurrence in the faulty run predates the crash
-			// (it must, by prefix equality, but stay defensive).
-			id := faultySite[occF-1]
-			if rec := ty.At(id); rec == nil || rec.TS > ty.CrashStep {
-				inFaulty = false
+		// --- Step 2: this window's crash operations, keyed by faulty-run
+		// resource Sym so the pair loop needs no per-read translation.
+		crashWrites := make([][]crashWrite, ty.NumSyms())
+		if tf.HasPID(win.Victim) {
+			// The victim ran in the fault-free run: its writes there are what
+			// it did and could have done had it lived longer.
+			classF := classifyRes(tf, vicsThrough)
+			addF := func(r *trace.Record) {
+				if r.Res == trace.NoSym || classF[r.Res]&resSkip != 0 || r.HasFlag(trace.FlagFailed) {
+					return
+				}
+				resY := mFY[r.Res]
+				if resY == trace.NoSym {
+					return // the resource never appears in the faulty run
+				}
+				w := crashWrite{r: r, t: tf}
+				w.siteY, w.siteOK = ty.Lookup(tf.Str(r.Site))
+				w.pidY, w.pidOK = ty.Lookup(tf.Str(r.PID))
+				crashWrites[resY] = append(crashWrites[resY], w)
+			}
+			crashedSymF, crashedInF := tf.Lookup(win.Victim)
+			remote := gf.ForwardClosureDense(gf.EscapingSeeds(win.Victim))
+			for i := range tf.Records {
+				r := &tf.Records[i]
+				if !r.Kind.IsWriteLike() {
+					continue
+				}
+				cls := uint8(0)
+				if r.Res != trace.NoSym {
+					cls = classF[r.Res]
+				}
+				if crashedInF && r.PID == crashedSymF && cls&resPersistent != 0 {
+					addF(r)
+					continue
+				}
+				if remote[r.ID] && cls&(resPersistent|resHeap) != 0 {
+					addF(r)
+				}
+			}
+		} else {
+			// An incarnation victim (a restarted process killed by a later
+			// fault) never existed in the fault-free run: the state its crash
+			// orphaned is what it actually wrote in the faulty run before the
+			// window opened.
+			symY, inY := ty.Lookup(win.Victim)
+			remoteY := gy.ForwardClosureDense(gy.EscapingSeeds(win.Victim))
+			for i := range ty.Records {
+				r := &ty.Records[i]
+				if r.TS > win.OpenStep || !r.Kind.IsWriteLike() {
+					continue
+				}
+				if r.Res == trace.NoSym || r.HasFlag(trace.FlagFailed) {
+					continue
+				}
+				cls := classY[r.Res]
+				if cls&resSkip != 0 {
+					continue
+				}
+				own := inY && r.PID == symY && cls&resPersistent != 0
+				rem := remoteY[r.ID] && cls&(resPersistent|resHeap) != 0
+				if !own && !rem {
+					continue
+				}
+				crashWrites[r.Res] = append(crashWrites[r.Res], crashWrite{
+					r: r, t: ty, siteY: r.Site, pidY: r.PID,
+					siteOK: true, pidOK: true, inFaulty: true,
+				})
 			}
 		}
 
-		resStr := ty.Str(p.r.Res)
-		reports = append(reports, &Report{
-			Type:            CrashRecovery,
-			OpsDesc:         opsDesc(tf, p.w.r, ty, p.r),
-			Resource:        resStr,
-			ResClass:        normalizeRes(resStr),
-			W:               summarize(tf, p.w.r, occF),
-			R:               summarize(ty, p.r, occurrence(ixY, p.r)),
-			WInFaultyRun:    inFaulty,
-			CrashTargetPID:  crashed,
-			CrashTargetRole: crashedRole,
-			Workload:        workload,
-		})
+		// --- Step 3: conflicting pairs by resource ID.
+		type pair struct {
+			w *crashWrite
+			r *trace.Record
+		}
+		var pairs []pair
+		for _, r := range recReads {
+			ws := crashWrites[r.Res]
+			for i := range ws {
+				w := &ws[i]
+				if w.siteOK && w.pidOK && w.siteY == r.Site && w.pidY == r.PID {
+					continue // same static op from the same process: no conflict
+				}
+				pairs = append(pairs, pair{w: w, r: r})
+			}
+		}
+
+		// --- Step 4a: control-dependence sanity-check pruning (Figure 8).
+		// If recovery read R2 control-depends on recovery read R1 and both
+		// touch the same resource, R1 is the sanity check protecting R2.
+		inCandidates := map[trace.OpID]bool{}
+		byRes := map[trace.Sym][]*trace.Record{}
+		for _, p := range pairs {
+			if !inCandidates[p.r.ID] {
+				inCandidates[p.r.ID] = true
+				byRes[p.r.Res] = append(byRes[p.r.Res], p.r)
+			}
+		}
+		sanityChecked := map[trace.OpID]bool{}
+		for _, rs := range byRes {
+			for _, r2 := range rs {
+				for _, r1 := range rs {
+					if r1.ID == r2.ID {
+						continue
+					}
+					if containsOp(r2.Ctl, r1.ID) {
+						sanityChecked[r2.ID] = true
+					}
+				}
+			}
+		}
+
+		// --- Step 4b: data-dependence (reset) pruning. A recovery write to
+		// the same resource before R means recovery replaced the content.
+		resetProtected := func(r *trace.Record) bool {
+			w := earliestRecWrite[r.Res]
+			return w != trace.NoOp && w < r.ID
+		}
+
+		for _, p := range pairs {
+			if sanityChecked[p.r.ID] || resetProtected(p.r) {
+				res.Pruned.Dependence++
+				if !opts.DisableDependencePruning {
+					continue
+				}
+			}
+			if !impacted[p.r.ID] {
+				res.Pruned.Impact++
+				if !opts.DisableImpactPruning {
+					continue
+				}
+			}
+
+			// Trigger timing (Section 5): if W already executed before this
+			// window opened in the faulty run, inject the fault right before
+			// it; if it only appears in the fault-free continuation, inject
+			// right after it.
+			var wSum OpSummary
+			inFaulty := p.w.inFaulty // ty-sourced writes executed pre-window by construction
+			if inFaulty {
+				wSum = summarize(ty, p.w.r, occurrence(ixY, p.w.r))
+			} else {
+				occF := occurrence(ixF, p.w.r)
+				var faultySite []trace.OpID
+				if p.w.siteOK {
+					faultySite = ixY.SiteIDs(p.w.siteY)
+				}
+				inFaulty = len(faultySite) >= occF
+				if inFaulty {
+					// Confirm the occurrence in the faulty run predates the
+					// window (it must, by prefix equality, but stay defensive).
+					id := faultySite[occF-1]
+					if rec := ty.At(id); rec == nil || rec.TS > win.OpenStep {
+						inFaulty = false
+					}
+				}
+				wSum = summarize(tf, p.w.r, occF)
+			}
+
+			resStr := ty.Str(p.r.Res)
+			reports = append(reports, &Report{
+				Type:            CrashRecovery,
+				OpsDesc:         opsDesc(p.w.t, p.w.r, ty, p.r),
+				Resource:        resStr,
+				ResClass:        normalizeRes(resStr),
+				W:               wSum,
+				R:               summarize(ty, p.r, occurrence(ixY, p.r)),
+				WInFaultyRun:    inFaulty,
+				CrashTargetPID:  win.Victim,
+				CrashTargetRole: roleOf(win.Victim),
+				WindowID:        win.ID,
+				FaultIndex:      win.FaultIndex,
+				Workload:        workload,
+			})
+		}
 	}
 	res.Reports = Dedup(reports)
 	return res

@@ -77,6 +77,14 @@ type Report struct {
 	// restart it, exercising recovery).
 	CrashTargetRole string
 
+	// WindowID / FaultIndex anchor the report to the hazard window whose
+	// recovery it describes: WindowID is the window's position in the
+	// observation, FaultIndex the scenario event that opened it. Both are 0
+	// for single-fault observations (the 1-window special case) and for
+	// crash-regular reports, whose hazard is hypothetical.
+	WindowID   int
+	FaultIndex int
+
 	Workload string
 }
 
@@ -89,7 +97,15 @@ func (r *Report) Key() string {
 		// The signal site plus the waiting site identify the hazard.
 		w = r.W.Site
 	}
-	return fmt.Sprintf("%s|%s|%s|%s", r.Type, w, r.R.Site, r.ResClass)
+	k := fmt.Sprintf("%s|%s|%s|%s", r.Type, w, r.R.Site, r.ResClass)
+	if r.WindowID > 0 {
+		// Reports from later hazard windows are distinct findings even on
+		// the same sites: a rolling-crash hazard is not its single-crash
+		// shadow. Window 0 keeps the historical key so single-fault dedup
+		// (and every existing golden) is unchanged.
+		k += "|w" + itoa(int64(r.WindowID))
+	}
+	return k
 }
 
 // String renders a one-line summary.
@@ -117,10 +133,17 @@ type Options struct {
 	// (Section 4.3.3).
 	DisableImpactPruning bool
 	// CrashedPIDs are the scenario's injected crash victims, in injection
-	// order. The recovery detector marks every victim's heap as dying with
-	// its node; empty falls back to the trace's first recorded crash (the
-	// single-fault behaviour).
+	// order — the legacy fault surface, still honoured when no firings or
+	// windows are supplied; empty falls back to the trace's first recorded
+	// crash (the single-fault behaviour).
 	CrashedPIDs []string
+	// Firings are the scenario's actual fault firings (victim, step,
+	// anchor per event). When set, hazard windows are derived from them.
+	Firings []FaultFiring
+	// Windows, when non-empty, are the observation's hazard windows,
+	// derived once by the caller (core.Detect) and shared by both
+	// detectors and the cross-window pairing pass.
+	Windows []Window
 }
 
 // PruneCounters tallies how many candidates each fault-tolerance analysis

@@ -67,6 +67,69 @@ func NewTriggerer(w core.Workload, seed int64) *Triggerer {
 	return &Triggerer{W: w, Seed: seed}
 }
 
+// WindowEvent lowers a hazard window's anchor back to the scenario event
+// that opened it: site-anchored windows replay at their recorded
+// site/occurrence/edge, step-anchored ones at their open step. Crash events
+// aim at the victim's role, so they hit whatever incarnation is current when
+// they fire.
+func WindowEvent(w *detect.Window) sim.FaultSpec {
+	ev := sim.FaultSpec{Action: w.Action}
+	if w.OpenSite != "" {
+		ev.Site, ev.Occurrence, ev.When = w.OpenSite, w.OpenOcc, w.OpenWhen
+	} else {
+		ev.CrashStep = w.OpenStep
+	}
+	if w.Kind == detect.WindowCrashRecovery {
+		ev.Target = w.Role()
+		// The window recovered in the observation, so the rebuilt event must
+		// force the same restart — the workload's own policy may leave the
+		// victim down (the observed restart could have come from a forced
+		// restart= in the scenario).
+		if w.Incarnation != "" && w.RestartStep > w.OpenStep {
+			d := w.RestartStep - w.OpenStep
+			ev.Restart = &d
+		}
+	}
+	return ev
+}
+
+// prefixEvents rebuilds the scenario events that open every window before
+// windowID — the context a later window's fault needs to land in (its victim
+// incarnation only exists once the earlier faults and restarts have run).
+func prefixEvents(windows []detect.Window, windowID int) []sim.FaultSpec {
+	var out []sim.FaultSpec
+	for i := range windows {
+		if w := &windows[i]; w.ID < windowID {
+			out = append(out, WindowEvent(w))
+		}
+	}
+	return out
+}
+
+// TriggerScenario is the injection scenario Trigger replays for a report,
+// rebuilt from the report's anchors and (for reports from later hazard
+// windows) the windows preceding it. For crash-regular reports it is the
+// node-crash flavor of the three fault types Trigger tries.
+func TriggerScenario(rep *detect.Report, windows []detect.Window) []sim.FaultSpec {
+	if rep.Type == detect.CrashRegular {
+		wp := rep.WPrime
+		if wp == nil {
+			return nil
+		}
+		return []sim.FaultSpec{{
+			Site: wp.Site, Occurrence: wp.Occurrence, When: sim.WhenBefore, Action: sim.ActionNodeCrash,
+		}}
+	}
+	when := sim.WhenAfter
+	if rep.WInFaultyRun {
+		when = sim.WhenBefore
+	}
+	return append(prefixEvents(windows, rep.WindowID), sim.FaultSpec{
+		Site: rep.W.Site, Occurrence: rep.W.Occurrence, When: when,
+		Action: sim.ActionNodeCrash, Target: rep.CrashTargetRole,
+	})
+}
+
 // Trigger replays the workload with the report's fault injected and
 // classifies the report (Section 5). Crash-regular reports are tried with
 // all three fault types: a node crash right before W′, a kernel-level drop
@@ -74,11 +137,20 @@ func NewTriggerer(w core.Workload, seed int64) *Triggerer {
 // node crash right before or after W (depending on where W was observed),
 // with the crashed role restarted so recovery runs.
 func (tg *Triggerer) Trigger(rep *detect.Report) *Outcome {
+	return tg.TriggerWindowed(rep, nil)
+}
+
+// TriggerWindowed is Trigger for reports anchored to a later hazard window:
+// the observation's windows let it replay the faults that preceded the
+// report's own window, so the aimed fault lands in the same recovery context
+// it was detected in. Window-0 (and crash-regular) reports ignore windows
+// and behave exactly like Trigger.
+func (tg *Triggerer) TriggerWindowed(rep *detect.Report, windows []detect.Window) *Outcome {
 	out := &Outcome{Report: rep, Class: Benign, ByAction: map[string]bool{}}
 
 	type attempt struct {
 		action  string
-		event   sim.FaultSpec
+		events  []sim.FaultSpec
 		restart bool
 	}
 	var attempts []attempt
@@ -90,25 +162,18 @@ func (tg *Triggerer) Trigger(rep *detect.Report) *Outcome {
 		for _, act := range sim.ActionNames() {
 			attempts = append(attempts, attempt{
 				action: act,
-				event: sim.FaultSpec{
+				events: []sim.FaultSpec{{
 					Site: wp.Site, Occurrence: wp.Occurrence, When: sim.WhenBefore, Action: act,
-				},
+				}},
 				// The paper emulates the crash with Runtime.halt(-1): the
 				// victim stays down; the remaining nodes must cope.
 				restart: false,
 			})
 		}
 	} else {
-		when := sim.WhenAfter
-		if rep.WInFaultyRun {
-			when = sim.WhenBefore
-		}
 		attempts = append(attempts, attempt{
-			action: sim.ActionNodeCrash,
-			event: sim.FaultSpec{
-				Site: rep.W.Site, Occurrence: rep.W.Occurrence, When: when,
-				Action: sim.ActionNodeCrash, Target: rep.CrashTargetRole,
-			},
+			action:  sim.ActionNodeCrash,
+			events:  TriggerScenario(rep, windows),
 			restart: true,
 		})
 	}
@@ -118,7 +183,7 @@ func (tg *Triggerer) Trigger(rep *detect.Report) *Outcome {
 		if at.restart {
 			restart = tg.W.RestartRoles()
 		}
-		plan := sim.NewScenarioPlan([]sim.FaultSpec{at.event}, restart)
+		plan := sim.NewScenarioPlan(at.events, restart)
 		// Replays stream their records through the handled-exception fold and
 		// discard them: classification needs only the fold's verdict, so a
 		// replay's memory stays O(batch + symbol tables).
@@ -260,6 +325,100 @@ func (tg *Triggerer) isExpected(detail string) bool {
 		}
 	}
 	return false
+}
+
+// CompoundOutcome is the result of replaying a cross-window finding's two
+// window anchors as one scenario.
+type CompoundOutcome struct {
+	Compound *detect.CompoundReport
+	// Scenario is the rebuilt two-event scenario whose replay produced the
+	// verdict (the observed-policy scenario when every variant was benign).
+	Scenario    []sim.FaultSpec
+	Class       Classification
+	FailureKind string
+	Detail      string
+	// Variant names the recovery policy that produced the verdict:
+	// "as-observed", "inner-down", "inner-restart@<delay>" or "outer-down".
+	Variant string
+}
+
+// compoundRestartDelay is the restart timescale a recovery-policy variant
+// assumes when the observation recorded none.
+const compoundRestartDelay = 40
+
+// compoundRestartProbes caps how many restart delays the timing grid tries
+// for a crash-opened inner window. Below the cap the grid is exhaustive
+// (every delay up to the observed timescale): the harmful restart timings
+// are narrow — a few ticks wide — so a sparse grid walks right past them.
+const compoundRestartProbes = 64
+
+// TriggerCompound rebuilds the scenario a compound finding describes — the
+// outer window's fault, then the inner fault landing inside the outer
+// recovery — and probes the recovery policies an operator could apply to the
+// victims. The observation itself was tolerated (core.Observe only accepts
+// correct faulty runs), so verbatim anchors are the baseline and the
+// perturbed policies carry the verdict. For a crash-opened inner window the
+// inner victim is left down for good and, separately, restarted on an even
+// grid of delays across the observed recovery timescale — a time-of-fault
+// failure is a timing failure, so the trigger walks the one timing axis the
+// anchors leave free. For a drop-opened inner window the outer victim is the
+// one left down, so nothing ever re-sends the dropped message. The strongest
+// verdict across variants wins.
+func (tg *Triggerer) TriggerCompound(rep *detect.CompoundReport) *CompoundOutcome {
+	outer, inner := WindowEvent(&rep.Outer), WindowEvent(&rep.Inner)
+	out := &CompoundOutcome{Compound: rep, Scenario: []sim.FaultSpec{outer, inner},
+		Class: Benign, Variant: "as-observed"}
+
+	pin := int64(-1)
+	type variant struct {
+		name           string
+		outerR, innerR *int64
+	}
+	variants := []variant{{"as-observed", outer.Restart, inner.Restart}}
+	if rep.Inner.Kind == detect.WindowCrashRecovery {
+		variants = append(variants, variant{"inner-down", outer.Restart, &pin})
+		// The grid's scale: the inner victim's observed restart delay, else
+		// the outer window's, else the default operator timescale.
+		scale := rep.Inner.RestartStep - rep.Inner.OpenStep
+		if scale <= 0 {
+			scale = rep.Outer.RestartStep - rep.Outer.OpenStep
+		}
+		if scale <= 0 {
+			scale = compoundRestartDelay
+		}
+		step := (scale + compoundRestartProbes - 1) / compoundRestartProbes
+		if step < 1 {
+			step = 1
+		}
+		for d := step; d <= scale; d += step {
+			if inner.Restart != nil && d == *inner.Restart {
+				continue // the as-observed variant already covers this delay
+			}
+			d := d
+			variants = append(variants,
+				variant{fmt.Sprintf("inner-restart@%d", d), outer.Restart, &d})
+		}
+	} else {
+		variants = append(variants, variant{"outer-down", &pin, inner.Restart})
+	}
+	for _, v := range variants {
+		oe, ie := outer, inner
+		oe.Restart, ie.Restart = v.outerR, v.innerR
+		scenario := []sim.FaultSpec{oe, ie}
+		plan := sim.NewScenarioPlan(scenario, tg.W.RestartRoles())
+		cfg := sim.Config{Seed: tg.Seed, Tracing: sim.TraceSelective, Plan: plan,
+			TraceTickCost: 1, TraceDiscard: true}
+		tg.W.Tune(&cfg)
+		c := sim.NewCluster(cfg)
+		tg.W.Configure(c)
+		runOut := c.Run()
+		cls, kind, detail := tg.classify(c, runOut, nil)
+		if cls < out.Class {
+			out.Class, out.FailureKind, out.Detail = cls, kind, detail
+			out.Scenario, out.Variant = scenario, v.name
+		}
+	}
+	return out
 }
 
 // TriggerAll classifies every report and returns outcomes in report order,

@@ -326,6 +326,12 @@ type Outcome struct {
 	UncaughtExceptions []string
 	HandledExceptions  []string
 	CheckErr           error // filled by the workload checker, if any
+
+	// FaultFirings are the plan's scenario events that actually fired, in
+	// firing order — each with its victim, step and anchor. This is the
+	// per-fault record hazard-window derivation consumes; Crashed above
+	// remains the flat union (plan victims plus app-level kills).
+	FaultFirings []FaultFiring
 }
 
 // HangSite describes one thread that was still alive when the run ended.

@@ -161,6 +161,30 @@ type FaultSpec struct {
 // relative reports whether the event arms off the previous event's firing.
 func (s *FaultSpec) relative() bool { return s.Site == "" && s.Delay > 0 }
 
+// FaultFiring records one scenario event actually firing during a run:
+// which event, what it did, to whom, and when. The firing list is the
+// per-fault surface the detectors' hazard-window derivation consumes —
+// unlike the flat victim list, it keeps each fault's moment and anchor.
+type FaultFiring struct {
+	// Index is the event's position in the scenario (FaultPlan.Events).
+	Index int `json:"index"`
+	// Action is the event's fault action, in ActionNames() form.
+	Action string `json:"action"`
+	// Step is the logical clock at the moment the event fired.
+	Step int64 `json:"step"`
+	// Site is the matched site for site-anchored events ("" otherwise);
+	// Occurrence and When complete the anchor (1-based occurrence at Site,
+	// before/after edge), so a firing can be replayed as a site-anchored
+	// event without the original spec.
+	Site       string `json:"site,omitempty"`
+	Occurrence int    `json:"occurrence,omitempty"`
+	When       string `json:"when,omitempty"`
+	// Victim is the crashed process for crash actions, or the sender whose
+	// message was dropped for drop actions. Empty when the event fired but
+	// hit nothing (unresolvable target, non-send op under a drop event).
+	Victim string `json:"victim,omitempty"`
+}
+
 // FaultEvent is a FaultSpec plus the per-run runtime state the cluster
 // tracks while matching it.
 type FaultEvent struct {
@@ -206,6 +230,8 @@ type FaultPlan struct {
 	// (Outcome.Crashed also contains app-level kills; detectors need the
 	// injected set).
 	injectedPIDs []string
+	// firings are the events that actually fired, in firing order.
+	firings []FaultFiring
 }
 
 // NewScenarioPlan builds a plan that injects the given fault scenario and
@@ -243,6 +269,10 @@ func (p *FaultPlan) Scenario() []FaultSpec {
 // InjectedCrashPIDs lists the processes crashed by plan events during the
 // run, in injection order.
 func (p *FaultPlan) InjectedCrashPIDs() []string { return p.injectedPIDs }
+
+// Firings lists the scenario events that actually fired during the run, in
+// firing order (the hazard-window anchors).
+func (p *FaultPlan) Firings() []FaultFiring { return p.firings }
 
 // preparePlan resolves the plan's events against this cluster: names become
 // enums, sites become dense ids (in event order, so site-table numbering is
@@ -306,15 +336,19 @@ func (c *Cluster) armNextEvent(p *FaultPlan, i int) {
 // injectCrash is crashProcess for plan-injected crashes: it records the
 // victim for detectors, remembers the role so a relative follow-up event can
 // re-crash its restarted incarnation, and applies the event's restart
-// override.
-func (c *Cluster) injectCrash(pid string, selfSite SiteID, restart *int64) {
+// override. It returns the victim PID, or "" when the crash was a no-op
+// (unknown target, or the process was already dead).
+func (c *Cluster) injectCrash(pid string, selfSite SiteID, restart *int64) string {
+	victim := ""
 	if p := c.pendingPlan; p != nil {
 		if n := c.nodes[pid]; n != nil && !n.crashed {
 			p.lastCrashRole = n.Role
 			p.injectedPIDs = append(p.injectedPIDs, pid)
+			victim = pid
 		}
 	}
 	c.crashProcess(pid, selfSite, restart)
+	return victim
 }
 
 // checkTrigger is called by the op layer around every operation's effect.
@@ -345,6 +379,10 @@ func (c *Cluster) checkTrigger(site SiteID, when TriggerWhen, isSend bool) (drop
 		ev.fired = true
 		p.sitePending--
 		c.armNextEvent(p, i)
+		firing := FaultFiring{
+			Index: i, Action: ev.action.String(), Step: c.clock,
+			Site: ev.Site, Occurrence: occ, When: ev.when.String(),
+		}
 		switch ev.action {
 		case ActCrashSelf:
 			cur := c.curThread
@@ -353,16 +391,21 @@ func (c *Cluster) checkTrigger(site SiteID, when TriggerWhen, isSend bool) (drop
 				pid = c.resolve(ev.Target)
 			}
 			if pid != "" {
-				c.injectCrash(pid, site, ev.Restart)
+				firing.Victim = c.injectCrash(pid, site, ev.Restart)
 			}
+			p.firings = append(p.firings, firing)
 			if cur.node.crashed {
 				// The fault hit the process executing this op: unwind now.
 				panic(killedPanic{})
 			}
 		case ActDropKernel, ActDropApp:
 			if isSend {
+				firing.Victim = c.curThread.node.PID
+				p.firings = append(p.firings, firing)
 				return ev.action, true
 			}
+			// Consumed on a non-send op: the event fired but dropped nothing.
+			p.firings = append(p.firings, firing)
 		}
 	}
 	return 0, false

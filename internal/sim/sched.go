@@ -141,9 +141,11 @@ func (c *Cluster) applyPlanAtStep() {
 			// Treat as a role name: crash its current incarnation.
 			pid = c.Lookup(target)
 		}
+		firing := FaultFiring{Index: i, Action: ev.action.String(), Step: c.clock}
 		if pid != "" {
-			c.injectCrash(pid, c.sitePlan, ev.Restart)
+			firing.Victim = c.injectCrash(pid, c.sitePlan, ev.Restart)
 		}
+		p.firings = append(p.firings, firing)
 	}
 	p.recountStep()
 }
@@ -317,6 +319,9 @@ func (c *Cluster) Run() *Outcome {
 
 	c.tracer.finish()
 	c.out.Steps = c.clock
+	if p := c.pendingPlan; p != nil {
+		c.out.FaultFirings = p.firings
+	}
 	c.out.Elapsed = time.Since(c.startWall)
 	if c.tracer.trace != nil {
 		c.tracer.trace.BaselineNanos = c.out.Elapsed.Nanoseconds()

@@ -128,6 +128,36 @@ func (e *EvalRun) RenderTable5() string {
 		renderTable([]string{"", "Loop TimeOut", "Wait TimeOut", "Dependence", "Impact"}, rows)
 }
 
+// RenderWindows renders a detection result's hazard-window breakdown: one
+// row per fault firing of the observed scenario, with the crash-recovery
+// reports anchored in each window.
+func RenderWindows(res *Result) string {
+	var rows [][]string
+	for _, r := range WindowsTable(res) {
+		rec := r.Recovery
+		if rec == "" {
+			rec = "-"
+		}
+		rows = append(rows, []string{
+			r.Window, r.Kind, r.Victim,
+			fmt.Sprint(r.Open), fmt.Sprint(r.Close), rec, fmt.Sprint(r.Reports),
+		})
+	}
+	return "Hazard windows (one per fault firing of the observed scenario).\n" +
+		renderTable([]string{"Window", "Kind", "Victim", "Open", "Close", "Recovery", "Reports"}, rows)
+}
+
+// RenderCompound renders a result's compound findings, each with the exact
+// -scenario string (the FormatScenario rendering of its two window anchors)
+// that replays it.
+func RenderCompound(res *Result) string {
+	var b strings.Builder
+	for _, c := range res.Compound {
+		fmt.Fprintf(&b, "compound: %s\n  scenario: %q\n", c, FormatScenario(CompoundScenario(c)))
+	}
+	return b.String()
+}
+
 // RenderSensitivity renders the Section 8.1.2 study.
 func RenderSensitivity(s *SensitivityResult) string {
 	var b strings.Builder

@@ -86,11 +86,20 @@ load its database and never comes back.`,
 func Details(id string) string { return bugDetails[id] }
 
 // Reproduction is the end-to-end story of one bug: the detection report
-// that predicted it and the trigger outcome that confirmed it.
+// that predicted it, the hazard windows of the observation it came from, the
+// exact scenario string that replays the trigger, and the trigger outcome
+// that confirmed it.
 type Reproduction struct {
 	Spec     *BugSpec
 	Workload string
 	Report   *Report
+	// Windows are the observation's hazard windows; Report.WindowID indexes
+	// into them for crash-recovery reports.
+	Windows []Window
+	// Scenario is the FormatScenario rendering of the triggering fault
+	// scenario rebuilt from the report's window anchors — paste it straight
+	// into `fcatch trigger -scenario`.
+	Scenario string
 	Outcome  *TriggerOutcome
 }
 
@@ -120,8 +129,16 @@ func Reproduce(bugID string, opts Options) (*Reproduction, error) {
 	if report == nil {
 		return nil, fmt.Errorf("fcatch: bug %s was not predicted by detection on %s", bugID, wl)
 	}
-	out := inject.NewTriggerer(w, opts.Seed).Trigger(report)
-	return &Reproduction{Spec: spec, Workload: wl, Report: report, Outcome: out}, nil
+	out := inject.NewTriggerer(w, opts.Seed).TriggerWindowed(report, res.Windows)
+	rep := &Reproduction{
+		Spec: spec, Workload: wl, Report: report,
+		Windows: res.Windows,
+		Outcome: out,
+	}
+	if sc := inject.TriggerScenario(report, res.Windows); len(sc) > 0 {
+		rep.Scenario = FormatScenario(sc)
+	}
+	return rep, nil
 }
 
 // Render formats the reproduction as a readme-style narrative.
@@ -145,6 +162,12 @@ func (r *Reproduction) Render() string {
 		}
 		fmt.Fprintf(&b, "trigger:    crash %s right %s W (occurrence %d of %s)\n",
 			r.Report.CrashTargetRole, when, r.Report.W.Occurrence, r.Report.W.Site)
+		if wid := r.Report.WindowID; wid > 0 && wid < len(r.Windows) {
+			fmt.Fprintf(&b, "window:     %s\n", &r.Windows[wid])
+		}
+	}
+	if r.Scenario != "" {
+		fmt.Fprintf(&b, "scenario:   %q\n", r.Scenario)
 	}
 	fmt.Fprintf(&b, "verdict:    %s", r.Outcome.Class)
 	if r.Outcome.FailureKind != "" {

@@ -48,10 +48,17 @@ func FaultActionNames() []string { return sim.ActionNames() }
 // victim, and crash its fresh incarnation 48 ticks later.
 func ParseScenario(s string) ([]FaultSpec, error) {
 	var out []FaultSpec
-	for _, part := range strings.Split(s, ";") {
+	parts := strings.Split(s, ";")
+	for _, part := range parts {
 		part = strings.TrimSpace(part)
 		if part == "" {
-			continue
+			if len(parts) == 1 {
+				break // a blank scenario: reported as empty below
+			}
+			// A ";" with nothing on one side is almost always a typo'd or
+			// truncated event — refuse it rather than silently running a
+			// shorter scenario than the user wrote.
+			return nil, fmt.Errorf("fcatch: empty scenario event (stray %q?) in %q", ";", s)
 		}
 		var ev FaultSpec
 		for _, field := range strings.Split(part, ",") {
@@ -107,10 +114,72 @@ func ParseScenario(s string) ([]FaultSpec, error) {
 				return nil, fmt.Errorf("fcatch: unknown scenario field %q", key)
 			}
 		}
+		if len(out) == 0 && ev.Site == "" && ev.Delay > 0 && ev.Target == "" {
+			// A relative event re-crashes the previously crashed role's
+			// incarnation; the first event has no previous victim, so this
+			// would silently fire at nothing.
+			return nil, fmt.Errorf(
+				"fcatch: first scenario event %q is relative with no target (no previous victim to re-crash)", part)
+		}
 		out = append(out, ev)
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("fcatch: empty scenario %q", s)
 	}
 	return out, nil
+}
+
+// FormatScenario is the inverse of ParseScenario: it renders a scenario back
+// to the CLI syntax, so reports and reproduction narratives can print the
+// exact -scenario string that replays them. Round-trip property:
+// ParseScenario(FormatScenario(s)) == s for every scenario ParseScenario
+// accepts.
+func FormatScenario(scenario []FaultSpec) string {
+	var b strings.Builder
+	for i := range scenario {
+		ev := &scenario[i]
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		n := 0
+		field := func(key, val string) {
+			if n > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(key)
+			b.WriteByte('=')
+			b.WriteString(val)
+			n++
+		}
+		if ev.CrashStep != 0 {
+			field("step", strconv.FormatInt(ev.CrashStep, 10))
+		}
+		if ev.Site != "" {
+			field("site", ev.Site)
+		}
+		if ev.Occurrence != 0 {
+			field("occ", strconv.Itoa(ev.Occurrence))
+		}
+		if ev.When != "" {
+			field("when", ev.When)
+		}
+		if ev.Action != "" {
+			field("action", ev.Action)
+		}
+		if ev.Target != "" {
+			field("target", ev.Target)
+		}
+		if ev.Delay != 0 {
+			field("delay", strconv.FormatInt(ev.Delay, 10))
+		}
+		if ev.Restart != nil {
+			field("restart", strconv.FormatInt(*ev.Restart, 10))
+		}
+		if n == 0 {
+			// An all-defaults event (crash the default target at the
+			// phase-chosen step) still needs a spelling.
+			field("step", "0")
+		}
+	}
+	return b.String()
 }
