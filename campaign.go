@@ -3,6 +3,7 @@ package fcatch
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"fcatch/internal/campaign"
 )
@@ -19,6 +20,12 @@ type (
 	CampaignPlan = campaign.Plan
 	// CampaignDiff compares two campaigns' findings.
 	CampaignDiff = campaign.Diff
+	// CampaignProgress is the point-in-time view handed to
+	// CampaignConfig.Progress after every committed batch.
+	CampaignProgress = campaign.Progress
+	// CampaignManifest is the machine-readable end-of-run record a campaign
+	// writes with -metrics.
+	CampaignManifest = campaign.Manifest
 )
 
 // Campaign strategy names.
@@ -49,6 +56,12 @@ func Campaign(w Workload, cfg CampaignConfig) (*CampaignResult, error) {
 // up to cfg.Budget.
 func ResumeCampaign(w Workload, cfg CampaignConfig, prior *CampaignCorpus) (*CampaignResult, error) {
 	return campaign.Resume(w, cfg, prior)
+}
+
+// NewCampaignManifest assembles the end-of-run manifest for a finished
+// campaign: identity, totals, throughput, and the metrics snapshot.
+func NewCampaignManifest(res *CampaignResult, budget int, elapsed time.Duration, reg *Metrics) CampaignManifest {
+	return campaign.NewManifest(res, budget, elapsed, reg)
 }
 
 // LoadCampaignCorpus reads a corpus saved with CampaignCorpus.Save.

@@ -39,15 +39,23 @@ type benchEntry struct {
 	RunsPerSec float64 `json:"runs_per_sec,omitempty"`
 }
 
-// benchReport is the envelope written by `fcatch-bench -json out.json`.
+// benchReport is the envelope written by `fcatch-bench -json out.json`. The
+// host fields make the EXPERIMENTS.md caveat machine-checkable: parallel and
+// distributed entries measured with SingleCoreHost true are protocol-overhead
+// numbers, not scaling numbers.
 type benchReport struct {
-	GeneratedBy string       `json:"generated_by"`
-	GoVersion   string       `json:"go_version"`
-	GOMAXPROCS  int          `json:"gomaxprocs"`
-	NumCPU      int          `json:"num_cpu"`
-	Seed        int64        `json:"seed"`
-	Timestamp   string       `json:"timestamp"`
-	Benchmarks  []benchEntry `json:"benchmarks"`
+	GeneratedBy string `json:"generated_by"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"num_cpu"`
+	// SingleCoreHost is NumCPU == 1: every worker shares one CPU, so
+	// parallelism and worker-count entries cannot show real scale-out.
+	SingleCoreHost bool         `json:"single_core_host"`
+	Seed           int64        `json:"seed"`
+	Timestamp      string       `json:"timestamp"`
+	Benchmarks     []benchEntry `json:"benchmarks"`
 }
 
 func toEntry(name string, r testing.BenchmarkResult) benchEntry {
@@ -479,13 +487,16 @@ func pipelineMemoryEntries(seed int64, smoke bool) []benchEntry {
 // writeBenchJSON runs the suite and writes the report.
 func writeBenchJSON(path string, seed int64, smoke bool) error {
 	rep := benchReport{
-		GeneratedBy: "fcatch-bench -json",
-		GoVersion:   runtime.Version(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		NumCPU:      runtime.NumCPU(),
-		Seed:        seed,
-		Timestamp:   time.Now().UTC().Format(time.RFC3339),
-		Benchmarks:  runBenchSuite(seed, smoke),
+		GeneratedBy:    "fcatch-bench -json",
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		NumCPU:         runtime.NumCPU(),
+		SingleCoreHost: runtime.NumCPU() == 1,
+		Seed:           seed,
+		Timestamp:      time.Now().UTC().Format(time.RFC3339),
+		Benchmarks:     runBenchSuite(seed, smoke),
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -39,8 +39,16 @@ func runBenchCompare(oldPath, newPath string) []string {
 		newBy[e.Name] = e
 	}
 
-	fmt.Printf("old: %s (%s, GOMAXPROCS=%d)\n", oldPath, oldRep.GoVersion, oldRep.GOMAXPROCS)
-	fmt.Printf("new: %s (%s, GOMAXPROCS=%d)\n\n", newPath, newRep.GoVersion, newRep.GOMAXPROCS)
+	fmt.Printf("old: %s (%s, GOMAXPROCS=%d, NumCPU=%d)\n", oldPath, oldRep.GoVersion, oldRep.GOMAXPROCS, oldRep.NumCPU)
+	fmt.Printf("new: %s (%s, GOMAXPROCS=%d, NumCPU=%d)\n", newPath, newRep.GoVersion, newRep.GOMAXPROCS, newRep.NumCPU)
+	if oldRep.NumCPU != newRep.NumCPU && oldRep.NumCPU > 0 && newRep.NumCPU > 0 {
+		fmt.Printf("warning: reports come from hosts with different CPU counts (%d vs %d); parallelism and workers=N deltas are not comparable\n",
+			oldRep.NumCPU, newRep.NumCPU)
+	}
+	if oldRep.SingleCoreHost || newRep.SingleCoreHost {
+		fmt.Println("note: at least one report was measured on a single-CPU host; parallel entries there measure protocol overhead, not scaling")
+	}
+	fmt.Println()
 
 	var regressions []string
 	fmt.Printf("%-52s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")

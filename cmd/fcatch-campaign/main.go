@@ -22,10 +22,58 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"fcatch"
 	"fcatch/internal/cliflag"
 )
+
+// instrumentation bundles the observability flags: the shared registry (nil
+// when nothing asked for one — the no-op fast path), the -metrics manifest
+// path, the distributed -metrics-addr endpoint, and -progress stderr lines.
+// All of it is observe-only: the corpus is byte-identical either way.
+type instrumentation struct {
+	reg      *fcatch.Metrics
+	out      string
+	addr     string
+	progress bool
+}
+
+// hook returns the Config.Progress callback, or nil when -progress is off.
+func (ins *instrumentation) hook() func(fcatch.CampaignProgress) {
+	if !ins.progress {
+		return nil
+	}
+	return func(p fcatch.CampaignProgress) {
+		fmt.Fprintf(os.Stderr,
+			"fcatch-campaign: %s/%s %d/%d runs (%d cached, %d executed) %.0f runs/s, %d distinct failure(s), dedupe %.0f%%\n",
+			p.Workload, p.Strategy, p.Runs, p.Budget, p.Cached, p.Executed,
+			p.RunsPerSec(), p.DistinctFailures, 100*p.DedupeRate())
+	}
+}
+
+// writeManifest writes the end-of-run manifest when -metrics was given.
+func (ins *instrumentation) writeManifest(res *fcatch.CampaignResult, budget int, elapsed time.Duration) {
+	if ins.out == "" {
+		return
+	}
+	m := fcatch.NewCampaignManifest(res, budget, elapsed, ins.reg)
+	w := os.Stdout
+	if ins.out != "-" {
+		f, err := os.Create(ins.out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := m.WriteJSON(w); err != nil {
+		fatal(err)
+	}
+	if ins.out != "-" {
+		fmt.Fprintf(os.Stderr, "fcatch-campaign: wrote run manifest to %s\n", ins.out)
+	}
+}
 
 func main() {
 	workload := flag.String("workload", "", "one workload (default with -compare: all six)")
@@ -45,8 +93,17 @@ func main() {
 	leaseSize := flag.Int("lease", 0, "distributed: plans per lease (0 = default; corpus identical at any setting)")
 	scenarioFlag := flag.String("scenarios", "", "comma-separated composite-scenario enumerators to append to the fault space: "+
 		strings.Join(fcatch.CampaignScenarioNames(), " | "))
+	metricsOut := cliflag.Metrics(flag.CommandLine)
+	metricsAddr := flag.String("metrics-addr", "", "distributed: serve Prometheus-text metrics on http://<host:port>/metrics while the campaign runs")
+	progress := flag.Bool("progress", false, "print a progress line to stderr after every committed batch")
 	flag.Parse()
 	scenarios := splitScenarios(*scenarioFlag)
+	ins := &instrumentation{
+		reg:      cliflag.NewRegistry(*metricsOut, *metricsAddr != ""),
+		out:      *metricsOut,
+		addr:     *metricsAddr,
+		progress: *progress,
+	}
 
 	switch {
 	case *diffA != "" || *diffB != "":
@@ -60,10 +117,10 @@ func main() {
 
 	case *serve != "" || *workers > 0:
 		runDistributed(*workload, *strategy, *runs, *seed, *parallelism, *batch,
-			*corpus, *resume, *serve, *workers, *leaseSize, scenarios)
+			*corpus, *resume, *serve, *workers, *leaseSize, scenarios, ins)
 
 	default:
-		runCampaign(*workload, *strategy, *runs, *seed, *parallelism, *batch, *corpus, *resume, *spaceTrace, scenarios)
+		runCampaign(*workload, *strategy, *runs, *seed, *parallelism, *batch, *corpus, *resume, *spaceTrace, scenarios, ins)
 	}
 }
 
@@ -99,7 +156,7 @@ func loadResume(resume string, workload, strategy *string, seed *int64) *fcatch.
 // workers, and the merged corpus is byte-identical to a local run. SIGINT
 // drains gracefully: complete batches are kept, and with -corpus the partial
 // corpus is saved as a resume point.
-func runDistributed(workload, strategy string, runs int, seed int64, parallelism, batch int, corpusOut, resume, serve string, workers, leaseSize int, scenarios []string) {
+func runDistributed(workload, strategy string, runs int, seed int64, parallelism, batch int, corpusOut, resume, serve string, workers, leaseSize int, scenarios []string, ins *instrumentation) {
 	prior := loadResume(resume, &workload, &strategy, &seed)
 	if prior != nil && len(scenarios) == 0 {
 		scenarios = prior.Scenarios
@@ -118,14 +175,21 @@ func runDistributed(workload, strategy string, runs int, seed int64, parallelism
 		Budget:    runs,
 		BatchSize: batch,
 		Scenarios: scenarios,
+		Metrics:   ins.reg,
+		Progress:  ins.hook(),
 	}
 	opts := fcatch.DistOptions{
 		Addr:              serve,
 		Workers:           workers,
 		WorkerParallelism: parallelism,
 		LeaseSize:         leaseSize,
+		Metrics:           ins.reg,
+		MetricsAddr:       ins.addr,
 		OnListen: func(addr string) {
 			fmt.Fprintf(os.Stderr, "fcatch-campaign: serving leases on %s (%d in-process worker(s))\n", addr, workers)
+		},
+		OnMetricsListen: func(addr string) {
+			fmt.Fprintf(os.Stderr, "fcatch-campaign: serving metrics on http://%s/metrics\n", addr)
 		},
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -134,7 +198,9 @@ func runDistributed(workload, strategy string, runs int, seed int64, parallelism
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	start := time.Now()
 	res, err := fcatch.ResumeDistributedCampaign(ctx, w, cfg, prior, opts)
+	elapsed := time.Since(start)
 	interrupted := errors.Is(err, context.Canceled) && res != nil
 	if err != nil && !interrupted {
 		fatal(err)
@@ -153,12 +219,13 @@ func runDistributed(workload, strategy string, runs int, seed int64, parallelism
 		}
 		fmt.Fprintf(os.Stderr, "fcatch-campaign: saved %s (%d runs) to %s\n", what, res.Runs, corpusOut)
 	}
+	ins.writeManifest(res, runs, elapsed)
 	if interrupted {
 		os.Exit(130)
 	}
 }
 
-func runCampaign(workload, strategy string, runs int, seed int64, parallelism, batch int, corpusOut, resume, spaceTrace string, scenarios []string) {
+func runCampaign(workload, strategy string, runs int, seed int64, parallelism, batch int, corpusOut, resume, spaceTrace string, scenarios []string, ins *instrumentation) {
 	prior := loadResume(resume, &workload, &strategy, &seed)
 	if prior != nil && len(scenarios) == 0 {
 		scenarios = prior.Scenarios
@@ -178,6 +245,8 @@ func runCampaign(workload, strategy string, runs int, seed int64, parallelism, b
 		Parallelism: parallelism,
 		BatchSize:   batch,
 		Scenarios:   scenarios,
+		Metrics:     ins.reg,
+		Progress:    ins.hook(),
 	}
 	if spaceTrace != "" {
 		src, err := fcatch.OpenTrace(spaceTrace)
@@ -186,10 +255,12 @@ func runCampaign(workload, strategy string, runs int, seed int64, parallelism, b
 		}
 		cfg.SpaceTrace = src // the engine drains and closes it
 	}
+	start := time.Now()
 	res, err := fcatch.ResumeCampaign(w, cfg, prior)
 	if err != nil {
 		fatal(err)
 	}
+	elapsed := time.Since(start)
 	fmt.Print(fcatch.RenderCampaign(res))
 
 	if corpusOut != "" {
@@ -198,6 +269,7 @@ func runCampaign(workload, strategy string, runs int, seed int64, parallelism, b
 		}
 		fmt.Fprintf(os.Stderr, "fcatch-campaign: saved corpus (%d runs) to %s\n", res.Runs, corpusOut)
 	}
+	ins.writeManifest(res, runs, elapsed)
 }
 
 func runCompare(workload string, runs int, seed int64, parallelism int) {

@@ -30,7 +30,9 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:9093", "coordinator address (host:port)")
 	name := flag.String("name", "", "worker name in coordinator logs (default: worker-<pid>)")
 	parallelism := cliflag.Parallelism(flag.CommandLine, "plans per lease")
+	metricsOut := cliflag.Metrics(flag.CommandLine)
 	flag.Parse()
+	reg := cliflag.NewRegistry(*metricsOut, false)
 
 	// SIGINT/SIGTERM cancel the context; the worker drops its connection and
 	// the coordinator reassigns whatever lease it held.
@@ -41,9 +43,14 @@ func main() {
 		Addr:        *addr,
 		Name:        *name,
 		Parallelism: *parallelism,
+		Metrics:     reg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fcatch-worker:", err)
+		os.Exit(1)
+	}
+	if werr := cliflag.WriteMetrics(*metricsOut, reg); werr != nil {
+		fmt.Fprintln(os.Stderr, "fcatch-worker:", werr)
 		os.Exit(1)
 	}
 }

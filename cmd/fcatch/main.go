@@ -55,7 +55,9 @@ func main() {
 	faulty := fs.Bool("faulty", false, "grep: search the faulty run instead of the fault-free one")
 	in := fs.String("in", "", "grep: stream a saved trace file instead of re-observing the workload")
 	scenario := fs.String("scenario", "", "faulty-run fault scenario, e.g. \"step=120,restart=40;delay=48\" (default: the workload's single crash)")
+	explain := fs.Bool("explain", false, "detect: print the per-rule pruning kill table and per-candidate decision trail")
 	parallelism := cliflag.Parallelism(fs, "detect/trigger/random runs")
+	metricsOut := cliflag.Metrics(fs)
 	_ = fs.Parse(os.Args[2:])
 
 	if cmd == "repro" {
@@ -84,6 +86,8 @@ func main() {
 		fatal(err)
 	}
 	opts := core.Options{Seed: *seed, Tracing: sim.TraceSelective, Parallelism: *parallelism}
+	opts.Detect.Explain = *explain
+	opts.Metrics = cliflag.NewRegistry(*metricsOut, false)
 	if *scenario != "" {
 		sc, err := fcatch.ParseScenario(*scenario)
 		if err != nil {
@@ -120,6 +124,9 @@ func main() {
 		fmt.Printf("pruned: loop-timeout=%d wait-timeout=%d dependence=%d impact=%d\n",
 			res.Regular.Pruned.LoopTimeout, res.Regular.Pruned.WaitTimeout,
 			res.Recovery.Pruned.Dependence, res.Recovery.Pruned.Impact)
+		if *explain {
+			fmt.Print(fcatch.RenderExplain(res))
+		}
 
 	case "trigger":
 		res, err := fcatch.Detect(w, opts)
@@ -220,6 +227,10 @@ func main() {
 
 	default:
 		usage()
+	}
+
+	if err := cliflag.WriteMetrics(*metricsOut, opts.Metrics); err != nil {
+		fatal(err)
 	}
 }
 

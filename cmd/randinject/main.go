@@ -20,7 +20,9 @@ func main() {
 	runs := flag.Int("runs", 400, "injection runs per workload")
 	seed := flag.Int64("seed", 1, "deterministic base seed")
 	parallelism := cliflag.Parallelism(flag.CommandLine, "injection runs")
+	metricsOut := cliflag.Metrics(flag.CommandLine)
 	flag.Parse()
+	reg := cliflag.NewRegistry(*metricsOut, false)
 
 	var targets []fcatch.Workload
 	if *workload != "" {
@@ -37,7 +39,7 @@ func main() {
 	var results []*fcatch.RandomResult
 	for _, w := range targets {
 		fmt.Fprintf(os.Stderr, "randinject: %s, %d runs...\n", w.Name(), *runs)
-		r, err := fcatch.RandomInjectionP(w, *runs, *seed, *parallelism)
+		r, err := fcatch.RandomInjectionObserved(w, *runs, *seed, *parallelism, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "randinject:", err)
 			os.Exit(1)
@@ -45,4 +47,8 @@ func main() {
 		results = append(results, r)
 	}
 	fmt.Print(fcatch.RenderRandom(results))
+	if err := cliflag.WriteMetrics(*metricsOut, reg); err != nil {
+		fmt.Fprintln(os.Stderr, "randinject:", err)
+		os.Exit(1)
+	}
 }

@@ -32,6 +32,7 @@ import (
 	"fcatch/internal/core"
 	"fcatch/internal/detect"
 	"fcatch/internal/inject"
+	"fcatch/internal/obs"
 	"fcatch/internal/trace"
 )
 
@@ -63,6 +64,19 @@ type (
 	// CompoundOutcome is the verdict of replaying a compound report's two
 	// window anchors as a fresh scenario.
 	CompoundOutcome = inject.CompoundOutcome
+	// Metrics is a named registry of atomic counters, bounded histograms and
+	// monotonic phase spans. Attach one via Options.Metrics (or the
+	// campaign/dist equivalents) to observe where the pipeline spends its
+	// budget; a nil Metrics is the free no-op default. Metrics are strictly
+	// observe-only: every other output is byte-identical with or without one.
+	Metrics = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a Metrics registry, the
+	// unit `-metrics out.json` serializes.
+	MetricsSnapshot = obs.Snapshot
+	// Decision is one candidate's pruning verdict, recorded when
+	// Options.Detect.Explain is set: the first §4 rule that discarded it, or
+	// "kept".
+	Decision = detect.Decision
 )
 
 // Hazard-window kinds.
@@ -97,6 +111,39 @@ const (
 // DefaultOptions is the paper's evaluation setting: selective tracing, crash
 // near the beginning of the execution.
 func DefaultOptions() Options { return core.DefaultOptions() }
+
+// NewMetrics returns an empty live metrics registry.
+func NewMetrics() *Metrics { return obs.New() }
+
+// Pruning-rule names for Decision.Rule.
+const (
+	RuleKept        = detect.RuleKept
+	RuleWaitTimeout = detect.RuleWaitTimeout
+	RuleLoopTimeout = detect.RuleLoopTimeout
+	RuleSanityCheck = detect.RuleSanityCheck
+	RuleReset       = detect.RuleReset
+	RuleImpact      = detect.RuleImpact
+)
+
+// PruneRuleNames lists every Decision.Rule value in kill-table display order.
+func PruneRuleNames() []string { return detect.RuleNames() }
+
+// KillTable tallies explain decisions by rule.
+func KillTable(decisions []Decision) map[string]int { return detect.KillTable(decisions) }
+
+// ExplainDecisions collects a detection result's per-candidate decision
+// trail, crash-regular first: one entry per candidate either detector judged.
+// Empty unless the pass ran with Options.Detect.Explain.
+func ExplainDecisions(res *Result) []Decision {
+	var out []Decision
+	if res.Regular != nil {
+		out = append(out, res.Regular.Decisions...)
+	}
+	if res.Recovery != nil {
+		out = append(out, res.Recovery.Decisions...)
+	}
+	return out
+}
 
 // Workloads returns the six benchmark workloads of Table 1, in table order.
 func Workloads() []Workload {
@@ -185,6 +232,13 @@ func RandomInjection(w Workload, runs int, seed int64) (*RandomResult, error) {
 // (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting.
 func RandomInjectionP(w Workload, runs int, seed int64, parallelism int) (*RandomResult, error) {
 	return inject.RandomCampaignP(w, runs, seed, parallelism)
+}
+
+// RandomInjectionObserved is RandomInjectionP with an observe-only metrics
+// registry threaded into the underlying campaign engine (nil = cheap no-op;
+// the counts are identical either way).
+func RandomInjectionObserved(w Workload, runs int, seed int64, parallelism int, m *Metrics) (*RandomResult, error) {
+	return inject.RandomCampaignObserved(w, runs, seed, parallelism, m)
 }
 
 // Trace is one observation run's interned record stream. Record fields that

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"fcatch/internal/core"
+	"fcatch/internal/obs"
 	"fcatch/internal/parallel"
 	"fcatch/internal/sim"
 	"fcatch/internal/trace"
@@ -44,6 +46,14 @@ type Config struct {
 	// seed or the enumerated space — and hence the whole campaign — will
 	// diverge from a from-scratch run.
 	SpaceTrace trace.Source
+	// Metrics, when non-nil, receives per-strategy proposal/accept counters
+	// (proposed, cached, executed, novel, failures). Strictly observe-only:
+	// the corpus is byte-identical with or without it. nil is a cheap no-op.
+	Metrics *obs.Registry
+	// Progress, when non-nil, is called after every committed batch with a
+	// point-in-time view of the campaign (runs/sec, dedupe rate, cache
+	// hits). Derived state only — the hook cannot influence the search.
+	Progress func(Progress)
 }
 
 func (cfg Config) withDefaults() Config {
@@ -114,6 +124,10 @@ type Result struct {
 	Failures map[string]int
 	// NovelBehaviors counts runs whose behavior signature was new.
 	NovelBehaviors int
+	// CachedRuns were answered from the resumed prior corpus; ExecutedRuns
+	// ran live. CachedRuns + ExecutedRuns == Runs.
+	CachedRuns   int
+	ExecutedRuns int
 	// SpacePoints is the enumerated fault-space size (0 for `random`).
 	SpacePoints int
 	// Corpus is the full per-run record (persist with Corpus.Save).
@@ -291,15 +305,30 @@ func ResumeWith(ctx context.Context, w core.Workload, cfg Config, prior *Corpus,
 	res := &Result{Workload: w.Name(), Strategy: cfg.Strategy, Seed: cfg.Seed,
 		Failures: map[string]int{}, SpacePoints: len(sp.Points), Corpus: cor}
 
+	// Per-strategy telemetry cells, hoisted out of the loop (one atomic add
+	// per event; all no-ops when cfg.Metrics is nil). Wall-clock start feeds
+	// only the Progress hook and manifest — never the corpus.
+	prefix := "campaign/" + cfg.Strategy + "/"
+	cProposed := cfg.Metrics.Counter(prefix + "proposed")
+	cCached := cfg.Metrics.Counter(prefix + "cached")
+	cExecuted := cfg.Metrics.Counter(prefix + "executed")
+	cNovel := cfg.Metrics.Counter(prefix + "novel")
+	cFailures := cfg.Metrics.Counter(prefix + "failures")
+	start := time.Now()
+	batches := 0
+
 	for res.Runs < cfg.Budget {
 		limit := cfg.Budget - res.Runs
 		if cfg.BatchSize > 0 && cfg.BatchSize < limit {
 			limit = cfg.BatchSize
 		}
+		endBatch := cfg.Metrics.Span("campaign/batch")
 		batch := st.NextBatch(limit)
 		if len(batch) == 0 {
+			endBatch()
 			break
 		}
+		cProposed.Add(int64(len(batch)))
 		// Answer the resumed prefix from the prior corpus; only the plans the
 		// corpus cannot answer go to the executor. Results land back in their
 		// batch slots, so the merge below is in proposal order regardless of
@@ -327,25 +356,47 @@ func ResumeWith(ctx context.Context, w core.Workload, cfg Config, prior *Corpus,
 				// complete batches, which keeps the corpus a valid resume
 				// point for a later ResumeWith.
 				res.NovelBehaviors = cor.NovelBehaviors()
+				endBatch()
 				return res, err
 			}
 			if len(ran) != len(plans) {
 				res.NovelBehaviors = cor.NovelBehaviors()
+				endBatch()
 				return res, fmt.Errorf("campaign: executor returned %d results for %d plans", len(ran), len(plans))
 			}
 			for j, i := range missIdx {
 				results[i] = ran[j]
 			}
 		}
+		res.CachedRuns += len(batch) - len(missIdx)
+		res.ExecutedRuns += len(missIdx)
+		cCached.Add(int64(len(batch) - len(missIdx)))
+		cExecuted.Add(int64(len(missIdx)))
 		for i := range results {
 			results[i].Novel = cor.add(results[i])
+			if results[i].Novel {
+				cNovel.Inc()
+			}
 			if results[i].Verdict == VerdictFailure {
 				res.FailureRuns++
 				res.Failures[results[i].Sig.Symptom]++
+				cFailures.Inc()
 			}
 		}
 		st.Observe(results)
 		res.Runs += len(batch)
+		batches++
+		endBatch()
+		if cfg.Progress != nil {
+			cfg.Progress(Progress{
+				Workload: res.Workload, Strategy: res.Strategy,
+				Runs: res.Runs, Budget: cfg.Budget, Batches: batches,
+				Cached: res.CachedRuns, Executed: res.ExecutedRuns,
+				Novel: cor.NovelBehaviors(), FailureRuns: res.FailureRuns,
+				DistinctFailures: len(res.Failures),
+				Elapsed:          time.Since(start),
+			})
+		}
 	}
 	res.NovelBehaviors = cor.NovelBehaviors()
 	return res, nil

@@ -1,0 +1,109 @@
+package campaign
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"fcatch/internal/obs"
+)
+
+// Progress is a point-in-time view of a running campaign, handed to
+// Config.Progress after every committed batch. It is derived state only:
+// consuming it (printing progress lines, updating dashboards) cannot change
+// the corpus, which stays byte-identical with or without a progress hook.
+type Progress struct {
+	Workload string
+	Strategy string
+	// Runs committed so far, out of Budget.
+	Runs   int
+	Budget int
+	// Batches committed, and how their runs were satisfied: Cached answers
+	// came from the resumed prior corpus, Executed ran live.
+	Batches  int
+	Cached   int
+	Executed int
+	// Novel counts runs whose behavior signature was new to the corpus.
+	Novel int
+	// FailureRuns and DistinctFailures mirror the Result fields.
+	FailureRuns      int
+	DistinctFailures int
+	// Elapsed is wall-clock since the campaign's first batch was proposed.
+	Elapsed time.Duration
+}
+
+// RunsPerSec is the committed-run throughput so far (0 before any time has
+// passed).
+func (p Progress) RunsPerSec() float64 {
+	if p.Elapsed <= 0 {
+		return 0
+	}
+	return float64(p.Runs) / p.Elapsed.Seconds()
+}
+
+// DedupeRate is the fraction of committed runs whose behavior signature had
+// been seen before — how much of the budget re-observed known behavior.
+func (p Progress) DedupeRate() float64 {
+	if p.Runs == 0 {
+		return 0
+	}
+	return 1 - float64(p.Novel)/float64(p.Runs)
+}
+
+// Manifest is the machine-readable end-of-run record a campaign CLI writes
+// with -metrics: the campaign's identity and totals, throughput, and the full
+// metrics snapshot. Wall-clock-derived fields live only here — the corpus
+// never contains them.
+type Manifest struct {
+	Workload       string         `json:"workload"`
+	Strategy       string         `json:"strategy"`
+	Seed           int64          `json:"seed"`
+	Budget         int            `json:"budget"`
+	Runs           int            `json:"runs"`
+	CachedRuns     int            `json:"cached_runs"`
+	ExecutedRuns   int            `json:"executed_runs"`
+	FailureRuns    int            `json:"failure_runs"`
+	UniqueFailures int            `json:"unique_failures"`
+	NovelBehaviors int            `json:"novel_behaviors"`
+	SpacePoints    int            `json:"space_points"`
+	Failures       map[string]int `json:"failures,omitempty"`
+	ElapsedNs      int64          `json:"elapsed_ns"`
+	RunsPerSec     float64        `json:"runs_per_sec"`
+	DedupeRate     float64        `json:"dedupe_rate"`
+	Metrics        obs.Snapshot   `json:"metrics"`
+}
+
+// NewManifest assembles the end-of-run manifest for a finished campaign.
+func NewManifest(res *Result, budget int, elapsed time.Duration, reg *obs.Registry) Manifest {
+	m := Manifest{
+		Workload:       res.Workload,
+		Strategy:       res.Strategy,
+		Seed:           res.Seed,
+		Budget:         budget,
+		Runs:           res.Runs,
+		CachedRuns:     res.CachedRuns,
+		ExecutedRuns:   res.ExecutedRuns,
+		FailureRuns:    res.FailureRuns,
+		UniqueFailures: res.UniqueFailures(),
+		NovelBehaviors: res.NovelBehaviors,
+		SpacePoints:    res.SpacePoints,
+		Failures:       res.Failures,
+		ElapsedNs:      elapsed.Nanoseconds(),
+		Metrics:        reg.Snapshot(),
+	}
+	p := Progress{Runs: res.Runs, Novel: res.NovelBehaviors, Elapsed: elapsed}
+	m.RunsPerSec = p.RunsPerSec()
+	m.DedupeRate = p.DedupeRate()
+	return m
+}
+
+// WriteJSON writes the manifest as indented JSON.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -2,7 +2,13 @@
 // command-line tools, so their semantics and help text cannot drift apart.
 package cliflag
 
-import "flag"
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fcatch/internal/obs"
+)
 
 // Parallelism registers the shared -parallelism flag on fs. The contract is
 // the same in every tool: 0 = GOMAXPROCS, 1 = sequential, and results are
@@ -12,4 +18,45 @@ import "flag"
 func Parallelism(fs *flag.FlagSet, what string) *int {
 	return fs.Int("parallelism", 0,
 		"concurrent "+what+" (0 = GOMAXPROCS, 1 = sequential; results identical at any setting)")
+}
+
+// Metrics registers the shared -metrics flag on fs: a path to write a JSON
+// metrics snapshot to when the tool exits ("" = off). The contract is the
+// same in every tool: metrics are observe-only, so all other outputs are
+// byte-identical whether the flag is set or not.
+func Metrics(fs *flag.FlagSet) *string {
+	return fs.String("metrics", "",
+		"write a JSON metrics snapshot to this file on exit (observe-only; other outputs are unchanged)")
+}
+
+// NewRegistry returns a live registry when a -metrics path (or another
+// consumer, per extra) demands one, and the nil no-op registry otherwise.
+func NewRegistry(path string, extra bool) *obs.Registry {
+	if path == "" && !extra {
+		return nil
+	}
+	return obs.New()
+}
+
+// WriteMetrics writes reg's snapshot to path as indented JSON. A no-op when
+// path is empty; "-" writes to stdout.
+func WriteMetrics(path string, reg *obs.Registry) error {
+	if path == "" {
+		return nil
+	}
+	if path == "-" {
+		return reg.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("writing metrics: %w", err)
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing metrics: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("writing metrics: %w", err)
+	}
+	return nil
 }

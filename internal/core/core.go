@@ -11,6 +11,7 @@ import (
 
 	"fcatch/internal/detect"
 	"fcatch/internal/hb"
+	"fcatch/internal/obs"
 	"fcatch/internal/parallel"
 	"fcatch/internal/sim"
 	"fcatch/internal/trace"
@@ -104,6 +105,12 @@ type Options struct {
 	// setting produces byte-identical reports, tables, and counters —
 	// results are collected in deterministic order regardless of schedule.
 	Parallelism int
+	// Metrics, when non-nil, receives pipeline phase spans (observation
+	// runs, index builds, each detector, compound pairing) and is forwarded
+	// to the detectors for per-rule pruning counters. Strictly observe-only:
+	// reports and traces are byte-identical with or without it. nil (the
+	// default) is a cheap no-op.
+	Metrics *obs.Registry
 }
 
 // DefaultOptions is the paper's evaluation setting.
@@ -242,7 +249,9 @@ func observe(w Workload, opts Options, withGraphs bool) (*Observation, *hb.Graph
 			bf.Window(t, recs)
 		}
 	}
+	endFF := opts.Metrics.Span("core/observe/fault-free")
 	cf, outF := runOnce(w, opts.Seed, opts.Tracing, nil, winF)
+	endFF()
 	var gf *hb.Graph
 	if withGraphs {
 		if bf == nil {
@@ -259,6 +268,7 @@ func observe(w Workload, opts Options, withGraphs bool) (*Observation, *hb.Graph
 	if withGraphs {
 		// Table 4 attribution: index work that ran inline under the traced
 		// run's baton is analysis time, not tracing time — move it.
+		opts.Metrics.ObserveSpan("core/index/fault-free", bf.BuildTime())
 		obs.Timings.AnalysisRegular = bf.BuildTime()
 		if !async {
 			obs.Timings.TracingFaultFree -= bf.FeedTime()
@@ -279,6 +289,10 @@ func observe(w Workload, opts Options, withGraphs bool) (*Observation, *hb.Graph
 	step := int64(float64(total) * opts.Phase.fraction())
 	var lastErr error
 	for attempt := 0; attempt < 8; attempt++ {
+		if attempt > 0 {
+			opts.Metrics.Counter("core/observe/retries").Inc()
+		}
+		endAttempt := opts.Metrics.Span("core/observe/faulty-attempt")
 		plan := scenarioPlan(w, scenario, step)
 		// Unlike the fault-free run, a faulty attempt can fail its
 		// correctness check and be retried (HB2 deterministically retries
@@ -287,6 +301,7 @@ func observe(w Workload, opts Options, withGraphs bool) (*Observation, *hb.Graph
 		// therefore built only after the check passes, from the materialized
 		// trace in a single window — failed attempts never pay for indexing.
 		cy, outY := runOnce(w, opts.Seed, opts.Tracing, plan, nil)
+		endAttempt()
 		if err := w.Check(cy, outY); err != nil {
 			lastErr = err
 			step += total/23 + 7 // nudge the crash point and retry
@@ -295,9 +310,11 @@ func observe(w Workload, opts Options, withGraphs bool) (*Observation, *hb.Graph
 		var by *hb.Builder
 		var gy *hb.Graph
 		if withGraphs {
+			endIdx := opts.Metrics.Span("core/index/faulty")
 			by = hb.NewBuilder(cy.Trace(), false)
 			by.Window(cy.Trace(), cy.Trace().Records)
 			gy = by.Finish()
+			endIdx()
 		}
 		if opts.MeasureBaseline {
 			basePlan := scenarioPlan(w, scenario, step)
@@ -371,6 +388,9 @@ func Detect(w Workload, opts Options) (*Result, error) {
 	// here, shared by both detectors and the compound pairing pass. The flat
 	// victim list stays populated as the legacy fallback surface.
 	dopts := opts.Detect
+	if dopts.Metrics == nil {
+		dopts.Metrics = opts.Metrics
+	}
 	if len(dopts.CrashedPIDs) == 0 {
 		dopts.CrashedPIDs = obs.CrashedPIDs
 	}
@@ -387,22 +407,30 @@ func Detect(w Workload, opts Options) (*Result, error) {
 		dopts.Windows = detect.ObservationWindows(obs.Faulty, dopts)
 	}
 	res.Windows = dopts.Windows
+	opts.Metrics.Counter("detect/windows").Add(int64(len(res.Windows)))
 	parallel.ForEach(opts.Parallelism, 2, func(i int) {
 		t0 := time.Now()
 		if i == 0 {
 			res.Regular = detect.DetectRegularOpts(gf, w.Name(), dopts)
-			obs.Timings.AnalysisRegular += time.Since(t0)
+			d := time.Since(t0)
+			obs.Timings.AnalysisRegular += d
+			opts.Metrics.ObserveSpan("detect/analysis/regular", d)
 		} else {
 			res.Recovery = detect.DetectRecoveryOpts(gf, gy, w.Name(), dopts)
-			obs.Timings.AnalysisRecovery += time.Since(t0)
+			d := time.Since(t0)
+			obs.Timings.AnalysisRecovery += d
+			opts.Metrics.ObserveSpan("detect/analysis/recovery", d)
 		}
 	})
 
 	res.Reports = append(res.Reports, res.Regular.Reports...)
 	res.Reports = append(res.Reports, res.Recovery.Reports...)
 	res.Reports = detect.Dedup(res.Reports)
+	opts.Metrics.Counter("detect/reports").Add(int64(len(res.Reports)))
 	if len(res.Windows) > 1 {
+		endCompound := opts.Metrics.Span("detect/compound")
 		res.Compound = detect.DetectCompound(gy, res.Windows, w.Name())
+		endCompound()
 	}
 	return res, nil
 }

@@ -1,0 +1,106 @@
+package detect
+
+import (
+	"fmt"
+	"strings"
+
+	"fcatch/internal/obs"
+	"fcatch/internal/trace"
+)
+
+// Explain mode gives every candidate the detectors judge exactly one verdict:
+// the first §4 pruning rule that discarded it in the actual control flow, or
+// "kept" if it survived. The decision units are what the detectors iterate —
+// deduplicated signal/wait and write/loop groups for crash-regular (§4.2.2
+// prunes per group), raw conflicting pairs for crash-recovery (§4.3.2/4.3.3
+// prune before deduplication) — so per-rule kill counts always sum to the
+// candidate count:
+//
+//	len(Decisions) == count(kept) + Σ count(rule killed)
+//
+// A "kept" crash-recovery decision is pre-dedup: several kept pairs may
+// collapse into one report.
+
+// Rule names for Decision.Rule, in pipeline order.
+const (
+	// RuleKept marks a candidate that survived every pruning analysis.
+	RuleKept = "kept"
+	// RuleWaitTimeout is §4.2.2 timeout pruning of a timed signal/wait group.
+	RuleWaitTimeout = "wait-timeout"
+	// RuleLoopTimeout is §4.2.2 timeout pruning of a deadline-bounded loop group.
+	RuleLoopTimeout = "loop-timeout"
+	// RuleSanityCheck is §4.3.2 control-dependence pruning: a recovery read
+	// guarded the candidate read.
+	RuleSanityCheck = "sanity-check"
+	// RuleReset is §4.3.2 data-dependence pruning: recovery rewrote the
+	// resource before the candidate read.
+	RuleReset = "reset"
+	// RuleImpact is §4.3.3 impact pruning: the read reaches no failure-prone
+	// sink.
+	RuleImpact = "impact"
+)
+
+// RuleNames lists every Decision.Rule value in kill-table display order.
+func RuleNames() []string {
+	return []string{RuleWaitTimeout, RuleLoopTimeout, RuleSanityCheck, RuleReset, RuleImpact, RuleKept}
+}
+
+// Decision is one candidate's verdict, recorded when Options.Explain is set.
+type Decision struct {
+	Detector  string `json:"detector"` // "crash-regular" or "crash-recovery"
+	Window    int    `json:"window"`   // hazard window ID (0 for crash-regular)
+	Candidate string `json:"candidate"`
+	Rule      string `json:"rule"`
+}
+
+// discardRuleCells is the rule-cell map for un-instrumented passes: every
+// rule resolves to the nil registry's shared discard counter, built once so
+// the common no-metrics detector pass allocates nothing for attribution.
+var discardRuleCells = ruleCellsFor(nil)
+
+// ruleCells resolves the per-rule kill counters once per detector pass, so
+// the per-candidate cost is one map hit and one atomic add — no name
+// concatenation on the detection hot path.
+func ruleCells(reg *obs.Registry) map[string]*obs.Counter {
+	if reg == nil {
+		return discardRuleCells
+	}
+	return ruleCellsFor(reg)
+}
+
+func ruleCellsFor(reg *obs.Registry) map[string]*obs.Counter {
+	names := RuleNames()
+	cells := make(map[string]*obs.Counter, len(names))
+	for _, rule := range names {
+		cells[rule] = reg.Counter("detect/rule/" + rule)
+	}
+	return cells
+}
+
+// KillTable tallies decisions by rule.
+func KillTable(decisions []Decision) map[string]int {
+	out := make(map[string]int, len(RuleNames()))
+	for _, d := range decisions {
+		out[d.Rule]++
+	}
+	return out
+}
+
+// regularCandidate renders a crash-regular group's identity for a decision
+// trail: Report.String without the bug-type tag the Decision.Detector field
+// already carries.
+func regularCandidate(rep *Report) string {
+	s := rep.String()
+	if i := strings.Index(s, "] "); i >= 0 {
+		return s[i+2:]
+	}
+	return s
+}
+
+// recoveryCandidate renders a crash-recovery pair's identity for a decision
+// trail, mirroring Report.String without constructing a Report.
+func recoveryCandidate(tw *trace.Trace, w *trace.Record, tr *trace.Trace, r *trace.Record) string {
+	return fmt.Sprintf("%s on %s: W=%s@%s R=%s@%s",
+		opsDesc(tw, w, tr, r), normalizeRes(tr.Str(r.Res)),
+		w.Kind, tw.Str(w.Site), r.Kind, tr.Str(r.Site))
+}

@@ -17,6 +17,9 @@ type RecoveryResult struct {
 	// Windows are the hazard windows the pass analyzed, in firing order
 	// (including drop-induced windows, which open no recovery of their own).
 	Windows []Window
+	// Decisions is the per-candidate verdict trail, one entry per raw
+	// conflicting pair (pre-dedup); nil unless Options.Explain.
+	Decisions []Decision
 }
 
 // isConsumer reports whether a record consumes shared-resource content for
@@ -205,7 +208,9 @@ func DetectRecoveryOpts(gf, gy *hb.Graph, workload string, opts Options) *Recove
 	// vicsThrough accumulates the victims dead by each window's open step —
 	// the window's heap-death set for classifyRes.
 	var vicsThrough []string
+	cells := ruleCells(opts.Metrics)
 	for wi, win := range wins {
+		endWin := opts.Metrics.Span("detect/recovery/window")
 		vicsThrough = append(vicsThrough, win.Victim)
 		classY := classifyRes(ty, vicsThrough)
 
@@ -352,19 +357,41 @@ func DetectRecoveryOpts(gf, gy *hb.Graph, workload string, opts Options) *Recove
 			return w != trace.NoOp && w < r.ID
 		}
 
+		// decide records p's verdict (explain trail + per-rule counter) and
+		// reports whether the rule killed it. Called exactly once per pair,
+		// with the first rule that actually discarded it or RuleKept.
+		decide := func(p pair, rule string) bool {
+			if opts.Explain {
+				res.Decisions = append(res.Decisions, Decision{
+					Detector:  CrashRecovery.String(),
+					Window:    win.ID,
+					Candidate: recoveryCandidate(p.w.t, p.w.r, ty, p.r),
+					Rule:      rule,
+				})
+			}
+			cells[rule].Inc()
+			return rule != RuleKept
+		}
 		for _, p := range pairs {
 			if sanityChecked[p.r.ID] || resetProtected(p.r) {
 				res.Pruned.Dependence++
 				if !opts.DisableDependencePruning {
+					rule := RuleReset
+					if sanityChecked[p.r.ID] {
+						rule = RuleSanityCheck
+					}
+					decide(p, rule)
 					continue
 				}
 			}
 			if !impacted[p.r.ID] {
 				res.Pruned.Impact++
 				if !opts.DisableImpactPruning {
+					decide(p, RuleImpact)
 					continue
 				}
 			}
+			decide(p, RuleKept)
 
 			// Trigger timing (Section 5): if W already executed before this
 			// window opened in the faulty run, inject the fault right before
@@ -408,6 +435,7 @@ func DetectRecoveryOpts(gf, gy *hb.Graph, workload string, opts Options) *Recove
 				Workload:        workload,
 			})
 		}
+		endWin()
 	}
 	res.Reports = Dedup(reports)
 	return res

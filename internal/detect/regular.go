@@ -11,6 +11,9 @@ import (
 type RegularResult struct {
 	Reports []*Report
 	Pruned  PruneCounters
+	// Decisions is the per-candidate verdict trail, one entry per
+	// deduplicated candidate group; nil unless Options.Explain.
+	Decisions []Decision
 }
 
 // occurrence numbers a record within its site's list (Index.BySite), the
@@ -173,18 +176,34 @@ func DetectRegularOpts(g *hb.Graph, workload string, opts Options) *RegularResul
 
 	// --- Timeout pruning (Section 4.2.2), per deduplicated candidate. ---
 	sort.Strings(order)
+	cells := ruleCells(opts.Metrics)
 	for _, k := range order {
 		grp := groups[k]
 		rep := grp.reports[0]
+		rule := RuleKept
 		if grp.timed {
 			if rep.OpsDesc == "Signal vs Wait" {
 				res.Pruned.WaitTimeout++
+				if !opts.DisableTimeoutPruning {
+					rule = RuleWaitTimeout
+				}
 			} else {
 				res.Pruned.LoopTimeout++
+				if !opts.DisableTimeoutPruning {
+					rule = RuleLoopTimeout
+				}
 			}
-			if !opts.DisableTimeoutPruning {
-				continue
-			}
+		}
+		if opts.Explain {
+			res.Decisions = append(res.Decisions, Decision{
+				Detector:  CrashRegular.String(),
+				Candidate: regularCandidate(rep),
+				Rule:      rule,
+			})
+		}
+		cells[rule].Inc()
+		if rule != RuleKept {
+			continue
 		}
 		res.Reports = append(res.Reports, rep)
 	}

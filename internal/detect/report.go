@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strings"
 
+	"fcatch/internal/obs"
 	"fcatch/internal/trace"
 )
 
@@ -144,6 +145,14 @@ type Options struct {
 	// derived once by the caller (core.Detect) and shared by both
 	// detectors and the cross-window pairing pass.
 	Windows []Window
+	// Explain records one Decision per candidate the detectors judge,
+	// naming the pruning rule that discarded it (or "kept"). Reports are
+	// byte-identical with Explain on or off.
+	Explain bool
+	// Metrics, when non-nil, receives per-rule pruning counters and
+	// per-window phase spans. Strictly observe-only: metrics never change
+	// detection results. nil (the default) is a cheap no-op.
+	Metrics *obs.Registry
 }
 
 // PruneCounters tallies how many candidates each fault-tolerance analysis

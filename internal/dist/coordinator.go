@@ -5,12 +5,14 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"fcatch/internal/campaign"
 	"fcatch/internal/core"
+	"fcatch/internal/obs"
 )
 
 // Options parameterizes a distributed campaign's coordinator.
@@ -53,6 +55,18 @@ type Options struct {
 	// Logf, when set, receives coordinator progress lines (worker joins,
 	// lease reassignments, drain).
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, receives coordinator health telemetry: lease
+	// grant/requeue/expiry counters, worker join/loss counters, lease
+	// latency and heartbeat-gap histograms. Strictly observe-only — the
+	// merged corpus is byte-identical with or without it.
+	Metrics *obs.Registry
+	// MetricsAddr, when non-empty, serves the registry as Prometheus text
+	// on http://<MetricsAddr>/metrics for the campaign's duration
+	// ("127.0.0.1:0" binds an ephemeral loopback port). Requires Metrics.
+	MetricsAddr string
+	// OnMetricsListen, when set, receives the metrics endpoint's bound
+	// address before the campaign starts.
+	OnMetricsListen func(addr string)
 }
 
 func (o Options) withDefaults() Options {
@@ -167,6 +181,7 @@ func (c *coordinator) ExecuteBatch(ctx context.Context, plans []campaign.Plan) (
 			// First delivery wins; anything from an older batch or an
 			// already-merged lease is a deterministic duplicate — drop it.
 			if d.l.batch != batch || parts[d.l.idx] != nil {
+				c.opts.Metrics.Counter("dist/results/duplicates").Inc()
 				continue
 			}
 			parts[d.l.idx] = d.results
@@ -196,10 +211,12 @@ func (c *coordinator) requeue(l *lease, cause error) {
 	}
 	l.fails++
 	if l.fails > c.opts.MaxLeaseRetries {
+		c.opts.Metrics.Counter("dist/leases/exhausted").Inc()
 		c.fail(fmt.Errorf("dist: lease %d (%d plan(s)) failed %d times, last cause: %w",
 			l.id, len(l.plans), l.fails, cause))
 		return
 	}
+	c.opts.Metrics.Counter("dist/leases/requeued").Inc()
 	backoff := c.opts.RetryBackoff << (l.fails - 1)
 	c.logf("dist: requeueing lease %d after %v (attempt %d/%d): %v",
 		l.id, backoff, l.fails, c.opts.MaxLeaseRetries, cause)
@@ -261,6 +278,7 @@ func (c *coordinator) handleConn(conn net.Conn) {
 		return
 	}
 	c.logf("dist: worker %q joined from %s", hello.Worker, conn.RemoteAddr())
+	c.opts.Metrics.Counter("dist/workers/joined").Inc()
 
 	// The reader turns the socket into liveness + results: every frame
 	// refreshes the deadline, so LeaseTimeout of silence — a crashed or
@@ -269,12 +287,20 @@ func (c *coordinator) handleConn(conn net.Conn) {
 	inbox := make(chan *message, 4)
 	go func() {
 		defer close(dead)
+		// Frame arrival gaps are the coordinator's view of worker liveness:
+		// a healthy worker's gaps cluster at the heartbeat interval, and the
+		// histogram's tail shows how close leases come to the timeout.
+		gaps := c.opts.Metrics.Histogram("dist/heartbeat-gap-ns")
+		last := time.Now()
 		for {
 			_ = conn.SetReadDeadline(time.Now().Add(c.opts.LeaseTimeout))
 			m := new(message)
 			if err := readMessage(br, m); err != nil {
 				return
 			}
+			now := time.Now()
+			gaps.Observe(now.Sub(last).Nanoseconds())
+			last = now
 			switch m.Type {
 			case msgHeartbeat:
 				// The deadline refresh above is the entire point.
@@ -302,6 +328,7 @@ func (c *coordinator) handleConn(conn net.Conn) {
 			return
 		case <-dead:
 			c.logf("dist: worker %q left", hello.Worker)
+			c.opts.Metrics.Counter("dist/workers/lost").Inc()
 			return
 		case l := <-c.queue:
 			select {
@@ -313,6 +340,8 @@ func (c *coordinator) handleConn(conn net.Conn) {
 				c.requeue(l, fmt.Errorf("granting to %q: %w", hello.Worker, err))
 				return
 			}
+			c.opts.Metrics.Counter("dist/leases/granted").Inc()
+			grantedAt := time.Now()
 			var expiry <-chan time.Time
 			var expiryTimer *time.Timer
 			if c.opts.LeaseExpiry > 0 {
@@ -337,15 +366,18 @@ func (c *coordinator) handleConn(conn net.Conn) {
 							hello.Worker, len(m.Results), len(l.plans)))
 						return
 					}
+					c.opts.Metrics.Histogram("dist/lease-latency-ns").Observe(time.Since(grantedAt).Nanoseconds())
 					c.deliver(l, m.Results)
 					stopExpiry()
 					break await
 				case <-dead:
 					stopExpiry()
+					c.opts.Metrics.Counter("dist/workers/lost").Inc()
 					c.requeue(l, fmt.Errorf("worker %q lost mid-lease", hello.Worker))
 					return
 				case <-expiry:
 					// Hung but heartbeating: forfeit the lease and the worker.
+					c.opts.Metrics.Counter("dist/leases/expired").Inc()
 					c.requeue(l, fmt.Errorf("lease %d expired on worker %q after %v",
 						l.id, hello.Worker, c.opts.LeaseExpiry))
 					return
@@ -378,6 +410,28 @@ func Serve(ctx context.Context, w core.Workload, cfg campaign.Config, prior *cam
 	bound := ln.Addr().String()
 	if opts.OnListen != nil {
 		opts.OnListen(bound)
+	}
+
+	// Optional Prometheus endpoint, up for the campaign's duration. It only
+	// reads registry snapshots, so scrapes never perturb the campaign.
+	var msrv *http.Server
+	if opts.MetricsAddr != "" {
+		mln, err := net.Listen("tcp", opts.MetricsAddr)
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("dist: metrics listen %s: %w", opts.MetricsAddr, err)
+		}
+		mux := http.NewServeMux()
+		reg := opts.Metrics
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = reg.WritePrometheus(w)
+		})
+		msrv = &http.Server{Handler: mux}
+		if opts.OnMetricsListen != nil {
+			opts.OnMetricsListen(mln.Addr().String())
+		}
+		go func() { _ = msrv.Serve(mln) }()
 	}
 
 	strategy := cfg.Strategy
@@ -434,6 +488,9 @@ func Serve(ctx context.Context, w core.Workload, cfg campaign.Config, prior *cam
 	c.connWG.Wait()
 	stopWorkers()
 	workerWG.Wait()
+	if msrv != nil {
+		_ = msrv.Close()
+	}
 	if res != nil {
 		c.logf("dist: campaign drained (%d run(s) merged)", res.Runs)
 	}

@@ -13,9 +13,14 @@ import (
 	"testing"
 	"time"
 
+	"io"
+	"net/http"
+	"sync"
+
 	"fcatch/internal/apps/toy"
 	"fcatch/internal/campaign"
 	"fcatch/internal/core"
+	"fcatch/internal/obs"
 	"fcatch/internal/sim"
 )
 
@@ -436,5 +441,123 @@ func TestAllWorkersLostAborts(t *testing.T) {
 	_, err := Serve(ctx, toy.New(), cfg, nil, opts)
 	if err == nil || !strings.Contains(err.Error(), "failed") {
 		t.Fatalf("err = %v, want a bounded-retry abort", err)
+	}
+}
+
+// TestMetricsEndpoint: the coordinator serves parseable Prometheus text on
+// /metrics during a 2-worker distributed run, telemetry counters reflect the
+// fleet, and attaching metrics keeps corpus parity.
+func TestMetricsEndpoint(t *testing.T) {
+	cfg := campaign.Config{Strategy: campaign.StrategyCoverage, Seed: 5, Budget: 40}
+	want := baseline(t, cfg)
+
+	reg := obs.New()
+	opts := testOptions()
+	opts.Workers = 2
+	opts.WorkerParallelism = 1
+	opts.Metrics = reg
+	opts.MetricsAddr = "127.0.0.1:0"
+	mAddrCh := make(chan string, 1)
+	opts.OnMetricsListen = func(a string) { mAddrCh <- a }
+
+	// Scrape from the first committed batch's Progress callback: the campaign
+	// is provably mid-run and the endpoint provably up, so the test cannot
+	// race campaign completion.
+	var scrapeOnce sync.Once
+	var body string
+	var scrapeErr error
+	cfg.Progress = func(campaign.Progress) {
+		scrapeOnce.Do(func() {
+			addr := <-mAddrCh
+			resp, err := http.Get("http://" + addr + "/metrics")
+			if err != nil {
+				scrapeErr = err
+				return
+			}
+			defer resp.Body.Close()
+			data, err := io.ReadAll(resp.Body)
+			if err != nil {
+				scrapeErr = err
+				return
+			}
+			body = string(data)
+		})
+	}
+
+	res, err := Serve(context.Background(), toy.New(), cfg, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := corpusJSON(t, res.Corpus); got != want {
+		t.Error("corpus with metrics attached differs from baseline")
+	}
+	if scrapeErr != nil {
+		t.Fatalf("scraping /metrics mid-run: %v", scrapeErr)
+	}
+	if !strings.Contains(body, "fcatch_dist_workers_joined_total 2") {
+		t.Errorf("mid-run scrape missing worker join counter:\n%s", body)
+	}
+	if !strings.Contains(body, "fcatch_dist_leases_granted_total") {
+		t.Errorf("mid-run scrape missing lease grant counter:\n%s", body)
+	}
+	// Every sample line must be Prometheus text format: name[{le="..."}] value.
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "# ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["dist/workers/joined"] != 2 {
+		t.Errorf("dist/workers/joined = %d, want 2", snap.Counters["dist/workers/joined"])
+	}
+	if snap.Counters["dist/leases/granted"] == 0 {
+		t.Error("no leases granted recorded")
+	}
+	if snap.Histograms["dist/lease-latency-ns"].Count == 0 {
+		t.Error("no lease latency observations recorded")
+	}
+}
+
+// TestRequeueCounterOnWorkerCrash: a worker crash mid-lease is visible in the
+// coordinator's requeue and worker-loss counters.
+func TestRequeueCounterOnWorkerCrash(t *testing.T) {
+	cfg := campaign.Config{Strategy: campaign.StrategyCoverage, Seed: 5, Budget: 40}
+	reg := obs.New()
+	opts := testOptions()
+	opts.Workers = 2
+	opts.WorkerParallelism = 1
+	opts.LeaseSize = 2
+	opts.Metrics = reg
+	addrCh := make(chan string, 1)
+	opts.OnListen = func(a string) { addrCh <- a }
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	crasherDone := make(chan error, 1)
+	go func() {
+		addr := <-addrCh
+		crasherDone <- RunWorker(ctx, WorkerConfig{
+			Addr: addr, Name: "crasher", Parallelism: 1,
+			Resolve:         func(string) (core.Workload, error) { return toy.New(), nil },
+			FailAfterLeases: 1,
+		})
+	}()
+
+	if _, err := Serve(ctx, toy.New(), cfg, nil, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-crasherDone; err != nil {
+		t.Fatalf("crasher worker: %v", err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["dist/leases/requeued"] == 0 {
+		t.Error("crashed worker's lease was not counted as requeued")
+	}
+	if snap.Counters["dist/workers/lost"] == 0 {
+		t.Error("crashed worker was not counted as lost")
 	}
 }

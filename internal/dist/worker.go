@@ -14,6 +14,7 @@ import (
 
 	"fcatch/internal/campaign"
 	"fcatch/internal/core"
+	"fcatch/internal/obs"
 )
 
 // WorkerConfig parameterizes one campaign worker.
@@ -34,6 +35,9 @@ type WorkerConfig struct {
 	// 2s) so a worker can be started before its coordinator.
 	DialAttempts int
 	DialBackoff  time.Duration
+	// Metrics, when non-nil, receives worker-side telemetry: lease/plan
+	// counts, per-lease execution latency, heartbeats sent. Observe-only.
+	Metrics *obs.Registry
 
 	// FailAfterLeases is a fault-injection hook for the subsystem's own
 	// tests: when N > 0, the worker abandons the Nth lease it is granted —
@@ -143,6 +147,7 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 				if err := send(&message{Type: msgHeartbeat}); err != nil {
 					return
 				}
+				cfg.Metrics.Counter("worker/heartbeats").Inc()
 			case <-hbStop:
 				return
 			}
@@ -173,10 +178,14 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 				<-ctx.Done() // livelock hook: heartbeats keep flowing, no result
 				return nil
 			}
+			cfg.Metrics.Counter("worker/leases").Inc()
+			cfg.Metrics.Counter("worker/plans").Add(int64(len(m.Plans)))
+			execStart := time.Now()
 			results, err := campaign.ExecPlans(ctx, w, conf.Seed, conf.Traced, cfg.Parallelism, m.Plans)
 			if err != nil {
 				return nil // cancelled mid-lease; the coordinator requeues it
 			}
+			cfg.Metrics.Histogram("worker/lease-exec-ns").Observe(time.Since(execStart).Nanoseconds())
 			if err := send(&message{Type: msgResult, Lease: m.Lease, Results: results}); err != nil {
 				if ctx.Err() != nil {
 					return nil

@@ -5,6 +5,7 @@ import (
 
 	"fcatch/internal/campaign"
 	"fcatch/internal/core"
+	"fcatch/internal/obs"
 )
 
 // RandomResult summarizes a random fault-injection campaign (Section 8.3):
@@ -55,11 +56,19 @@ func RandomCampaign(w core.Workload, runs int, seed int64) (*RandomResult, error
 // identical at any parallelism, and byte-identical to the pre-engine
 // implementation (see TestRandomCampaignMatchesReference).
 func RandomCampaignP(w core.Workload, runs int, seed int64, parallelism int) (*RandomResult, error) {
+	return RandomCampaignObserved(w, runs, seed, parallelism, nil)
+}
+
+// RandomCampaignObserved is RandomCampaignP with an observe-only metrics
+// registry threaded into the underlying campaign engine (nil = cheap no-op;
+// the counts are identical either way).
+func RandomCampaignObserved(w core.Workload, runs int, seed int64, parallelism int, reg *obs.Registry) (*RandomResult, error) {
 	res, err := campaign.Run(w, campaign.Config{
 		Strategy:    campaign.StrategyRandom,
 		Seed:        seed,
 		Budget:      runs,
 		Parallelism: parallelism,
+		Metrics:     reg,
 	})
 	if err != nil {
 		return nil, err

@@ -158,6 +158,31 @@ func RenderCompound(res *Result) string {
 	return b.String()
 }
 
+// RenderExplain renders a detection result's pruning attribution: the
+// per-rule kill table (which §4 analysis discarded how many candidates) and
+// the per-candidate decision trail. The pass must have run with
+// Options.Detect.Explain; per the explain contract, the rule counts always
+// sum to the candidate count.
+func RenderExplain(res *Result) string {
+	ds := ExplainDecisions(res)
+	kt := KillTable(ds)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Pruning attribution for %s: %d candidate(s), %d kept, %d killed.\n",
+		res.Workload, len(ds), kt[RuleKept], len(ds)-kt[RuleKept])
+	var rows [][]string
+	for _, r := range PruneRuleNames() {
+		rows = append(rows, []string{r, fmt.Sprint(kt[r])})
+	}
+	b.WriteString(renderTable([]string{"Rule", "Candidates"}, rows))
+	if len(ds) > 0 {
+		b.WriteString("Decision trail:\n")
+		for _, d := range ds {
+			fmt.Fprintf(&b, "  %-12s [%s w%d] %s\n", d.Rule, d.Detector, d.Window, d.Candidate)
+		}
+	}
+	return b.String()
+}
+
 // RenderSensitivity renders the Section 8.1.2 study.
 func RenderSensitivity(s *SensitivityResult) string {
 	var b strings.Builder

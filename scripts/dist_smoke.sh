@@ -8,6 +8,10 @@
 # and the deterministic merge — from the shipped binaries, not the test
 # harness. Build with -race before calling for the CI configuration.
 #
+# The coordinator also runs with -metrics/-metrics-addr: the script scrapes
+# the Prometheus endpoint while the campaign is live and asserts the end-of-run
+# manifest counted at least one requeued lease for the SIGKILLed worker.
+#
 # Usage: scripts/dist_smoke.sh <fcatch-campaign-binary> <fcatch-worker-binary>
 set -euo pipefail
 
@@ -17,6 +21,7 @@ WORKLOAD=${WORKLOAD:-MR1}
 RUNS=${RUNS:-600}
 SEED=${SEED:-7}
 ADDR=${ADDR:-127.0.0.1:9661}
+METRICS_ADDR=${METRICS_ADDR:-127.0.0.1:9662}
 
 dir=$(mktemp -d)
 trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$dir"' EXIT
@@ -25,9 +30,11 @@ echo "dist-smoke: baseline (single-process, parallelism=1)"
 "$CAMPAIGN" -workload "$WORKLOAD" -strategy random -runs "$RUNS" -seed "$SEED" \
   -parallelism 1 -corpus "$dir/baseline.json" >/dev/null
 
-echo "dist-smoke: coordinator on $ADDR + 2 workers, one killed mid-campaign"
+echo "dist-smoke: coordinator on $ADDR (+ /metrics on $METRICS_ADDR) + 2 workers, one killed mid-campaign"
 "$CAMPAIGN" -workload "$WORKLOAD" -strategy random -runs "$RUNS" -seed "$SEED" \
-  -serve "$ADDR" -corpus "$dir/dist.json" >/dev/null 2>"$dir/serve.log" &
+  -serve "$ADDR" -corpus "$dir/dist.json" \
+  -metrics "$dir/coord-metrics.json" -metrics-addr "$METRICS_ADDR" \
+  >/dev/null 2>"$dir/serve.log" &
 serve_pid=$!
 
 "$WORKER" -addr "$ADDR" -name smoke-1 >/dev/null 2>&1 &
@@ -40,6 +47,20 @@ w2_pid=$!
 sleep 1
 echo "dist-smoke: killing worker smoke-2 (pid $w2_pid)"
 kill -9 "$w2_pid" 2>/dev/null || true
+
+# Scrape the live Prometheus endpoint while the campaign still runs.
+if command -v curl >/dev/null 2>&1; then
+  if curl -fsS "http://$METRICS_ADDR/metrics" >"$dir/scrape.txt" 2>/dev/null; then
+    grep -q '^fcatch_dist_workers_joined_total 2$' "$dir/scrape.txt" || {
+      echo "dist-smoke: FAIL — live /metrics scrape missing fcatch_dist_workers_joined_total 2" >&2
+      cat "$dir/scrape.txt" >&2
+      exit 1
+    }
+    echo "dist-smoke: live /metrics scrape OK ($(wc -l <"$dir/scrape.txt") lines)"
+  else
+    echo "dist-smoke: note — campaign drained before the live scrape; relying on the manifest"
+  fi
+fi
 
 if ! wait "$serve_pid"; then
   echo "dist-smoke: coordinator failed; log:" >&2
@@ -54,4 +75,13 @@ cmp "$dir/baseline.json" "$dir/dist.json" || {
 }
 grep -q 'requeueing lease' "$dir/serve.log" \
   && echo "dist-smoke: lease reassignment observed"
+
+# The SIGKILLed worker forfeited at least one outstanding lease, and the
+# coordinator must have counted the requeue in its metrics manifest.
+grep -Eq '"dist/leases/requeued": *[1-9]' "$dir/coord-metrics.json" || {
+  echo "dist-smoke: FAIL — coordinator manifest shows no requeued lease after worker SIGKILL" >&2
+  grep -E '"dist/' "$dir/coord-metrics.json" >&2 || cat "$dir/coord-metrics.json" >&2
+  exit 1
+}
+echo "dist-smoke: requeue counter >= 1 after worker SIGKILL"
 echo "dist-smoke: PASS — corpus byte-identical to baseline"
